@@ -1,0 +1,422 @@
+// Benchmarks: one testing.B target per experiment of DESIGN.md §4.
+// cmd/fodbench prints the corresponding full tables; EXPERIMENTS.md records
+// the interpretation against the paper's claims.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/naive"
+	"repro/internal/skip"
+	"repro/internal/splitter"
+	"repro/internal/store"
+)
+
+const benchQuerySrc = "dist(x,y) > 2 & C0(y)" // the paper's Example 2
+
+func benchGraph(class gen.Class, n int) *graph.Graph {
+	return gen.Generate(class, n, gen.Options{Seed: 7, Colors: 1, ColorProb: 0.05})
+}
+
+func benchEngine(b *testing.B, class gen.Class, n int) (*graph.Graph, *core.Engine, *core.LocalQuery) {
+	b.Helper()
+	g := benchGraph(class, n)
+	lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.Preprocess(g, lq, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, e, lq
+}
+
+// --- E1: Storing Theorem ---------------------------------------------------
+
+func BenchmarkStoringTheoremInsert(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := store.New(n, 2, 0.25)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Set([]int{rng.Intn(n), rng.Intn(n)}, int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkStoringTheoremLookup(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := store.New(n, 2, 0.25)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < n; i++ {
+				s.Set([]int{rng.Intn(n), rng.Intn(n)}, int64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Get([]int{i % n, (i * 7) % n})
+			}
+		})
+	}
+}
+
+func BenchmarkStoringTheoremSuccessor(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := store.New(n, 2, 0.25)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < n; i++ {
+				s.Set([]int{rng.Intn(n), rng.Intn(n)}, int64(i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.NextGeq([]int{i % n, (i * 7) % n})
+			}
+		})
+	}
+}
+
+func BenchmarkStoringTheoremBaselineGoMap(b *testing.B) {
+	n := 1 << 16
+	m := map[[2]int]int64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		m[[2]int{rng.Intn(n), rng.Intn(n)}] = int64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m[[2]int{i % n, (i * 7) % n}] // note: no successor operation exists
+	}
+}
+
+// --- E2: neighborhood covers -----------------------------------------------
+
+func BenchmarkCoverConstruction(b *testing.B) {
+	for _, class := range []gen.Class{gen.Grid, gen.RandomTree, gen.BoundedDegree} {
+		for _, n := range []int{4000, 16000} {
+			b.Run(fmt.Sprintf("%s/n=%d", class, n), func(b *testing.B) {
+				g := benchGraph(class, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cover.Compute(g, 2)
+				}
+			})
+		}
+	}
+}
+
+// --- E3: distance index ----------------------------------------------------
+
+func BenchmarkDistIndexBuild(b *testing.B) {
+	for _, n := range []int{4000, 16000, 64000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dist.New(g, 2, dist.Options{})
+			}
+		})
+	}
+}
+
+func BenchmarkDistIndexQuery(b *testing.B) {
+	for _, n := range []int{4000, 64000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			ix := dist.New(g, 2, dist.Options{})
+			rng := rand.New(rand.NewSource(2))
+			pairs := make([][2]int, 4096)
+			for i := range pairs {
+				pairs[i] = [2]int{rng.Intn(g.N()), rng.Intn(g.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				ix.Within(p[0], p[1], 2)
+			}
+		})
+	}
+}
+
+func BenchmarkDistBFSBaseline(b *testing.B) {
+	for _, n := range []int{4000, 64000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			bfs := graph.NewBFS(g)
+			rng := rand.New(rand.NewSource(2))
+			pairs := make([][2]int, 4096)
+			for i := range pairs {
+				pairs[i] = [2]int{rng.Intn(g.N()), rng.Intn(g.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				bfs.Distance(p[0], p[1], 2)
+			}
+		})
+	}
+}
+
+// --- E4: splitter game -----------------------------------------------------
+
+func BenchmarkSplitterGame(b *testing.B) {
+	for _, class := range []gen.Class{gen.Grid, gen.RandomTree, gen.Star} {
+		b.Run(string(class), func(b *testing.B) {
+			g := benchGraph(class, 4000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				splitter.Play(g, 2, splitter.BallCenter{}, splitter.MaxDegreeConnector{}, 40)
+			}
+		})
+	}
+}
+
+// --- E5: engine preprocessing and next-solution -----------------------------
+
+func BenchmarkEnginePreprocess(b *testing.B) {
+	for _, n := range []int{2000, 8000, 32000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Preprocess(g, lq, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNextSolution(b *testing.B) {
+	for _, n := range []int{2000, 32000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g, e, _ := benchEngine(b, gen.Grid, n)
+			rng := rand.New(rand.NewSource(8))
+			tuples := make([][]int, 4096)
+			for i := range tuples {
+				tuples[i] = []int{rng.Intn(g.N()), rng.Intn(g.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.NextGeq(tuples[i%len(tuples)])
+			}
+		})
+	}
+}
+
+// --- E6: enumeration delay ---------------------------------------------------
+
+func BenchmarkEnumerationDelay(b *testing.B) {
+	for _, n := range []int{2000, 32000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			_, e, _ := benchEngine(b, gen.Grid, n)
+			b.ResetTimer()
+			produced := 0
+			for produced < b.N {
+				before := produced
+				e.Enumerate(func([]int) bool {
+					produced++
+					return produced < b.N
+				})
+				if produced == before {
+					break // result set exhausted; restart
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveEnumerationDelay(b *testing.B) {
+	for _, n := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ne := naive.NewEnumerator(g, lq)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := ne.Next(); !ok {
+					b.StopTimer()
+					ne = naive.NewEnumerator(g, lq)
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+// --- E7: testing --------------------------------------------------------------
+
+func BenchmarkTesting(b *testing.B) {
+	for _, n := range []int{2000, 32000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g, e, _ := benchEngine(b, gen.Grid, n)
+			rng := rand.New(rand.NewSource(9))
+			tuples := make([][]int, 4096)
+			for i := range tuples {
+				tuples[i] = []int{rng.Intn(g.N()), rng.Intn(g.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Test(tuples[i%len(tuples)])
+			}
+		})
+	}
+}
+
+func BenchmarkTestingNaiveBaseline(b *testing.B) {
+	for _, n := range []int{2000, 32000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			phi := fo.MustParse(benchQuerySrc)
+			vars := []fo.Var{"x", "y"}
+			ev := fo.NewEvaluator(g)
+			rng := rand.New(rand.NewSource(9))
+			tuples := make([][]int, 4096)
+			for i := range tuples {
+				tuples[i] = []int{rng.Intn(g.N()), rng.Intn(g.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.EvalTuple(phi, vars, tuples[i%len(tuples)])
+			}
+		})
+	}
+}
+
+// --- E8: first-K crossover ----------------------------------------------------
+
+func BenchmarkFirstK(b *testing.B) {
+	for _, K := range []int{1, 100, 10000} {
+		b.Run(fmt.Sprintf("index/K=%d", K), func(b *testing.B) {
+			g := benchGraph(gen.Grid, 8000)
+			lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := core.Preprocess(g, lq, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := 0
+				e.Enumerate(func([]int) bool { got++; return got < K })
+			}
+		})
+		b.Run(fmt.Sprintf("naive/K=%d", K), func(b *testing.B) {
+			g := benchGraph(gen.Grid, 8000)
+			lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ne := naive.NewEnumerator(g, lq)
+				for got := 0; got < K; got++ {
+					if _, ok := ne.Next(); !ok {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E10: adjacency-graph encoding ---------------------------------------------
+
+func BenchmarkAdjacencyEncoding(b *testing.B) {
+	for _, n := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := repro.NewDatabase(n)
+			db.AddRelation("Cites", 2)
+			db.AddRelation("Old", 1)
+			rng := rand.New(rand.NewSource(11))
+			for p := 1; p < n; p++ {
+				db.Insert("Cites", p, rng.Intn(p))
+			}
+			for p := 0; p < n/10; p++ {
+				db.Insert("Old", p)
+			}
+			q := repro.MustParseQuery("Cites(x,y) & Old(y)", "x", "y")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := repro.BuildDatabaseIndex(db, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E11: skip pointers ----------------------------------------------------------
+
+func BenchmarkSkipPointersBuild(b *testing.B) {
+	for _, n := range []int{4000, 16000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			cov := cover.Compute(g, 2)
+			cov.ComputeKernels(2)
+			var L []graph.V
+			for v := 0; v < g.N(); v++ {
+				if g.HasColor(v, 0) {
+					L = append(L, v)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				skip.New(g, cov, 2, L)
+			}
+		})
+	}
+}
+
+func BenchmarkSkipPointersQuery(b *testing.B) {
+	for _, n := range []int{4000, 64000} {
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			g := benchGraph(gen.Grid, n)
+			cov := cover.Compute(g, 2)
+			cov.ComputeKernels(2)
+			var L []graph.V
+			for v := 0; v < g.N(); v++ {
+				if g.HasColor(v, 0) {
+					L = append(L, v)
+				}
+			}
+			sp := skip.New(g, cov, 2, L)
+			rng := rand.New(rand.NewSource(5))
+			type probe struct {
+				b int
+				S []int
+			}
+			probes := make([]probe, 4096)
+			for i := range probes {
+				probes[i] = probe{b: rng.Intn(g.N()),
+					S: []int{cov.Assign(rng.Intn(g.N())), cov.Assign(rng.Intn(g.N()))}}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := probes[i%len(probes)]
+				sp.Query(p.b, p.S)
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package repro_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one of the cmd/ binaries into a shared temp dir.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIGenerateAndEnumerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	fodgen := buildTool(t, "fodgen")
+	fodenum := buildTool(t, "fodenum")
+
+	gen := exec.Command(fodgen, "-class", "grid", "-n", "400", "-colors", "1", "-seed", "3")
+	graphTxt, err := gen.Output()
+	if err != nil {
+		t.Fatalf("fodgen: %v", err)
+	}
+	if !bytes.HasPrefix(graphTxt, []byte("graph ")) {
+		t.Fatalf("unexpected fodgen output prefix: %.40s", graphTxt)
+	}
+
+	enum := exec.Command(fodenum, "-query", "dist(x,y) > 2 & C0(y)", "-vars", "x,y", "-limit", "7")
+	enum.Stdin = bytes.NewReader(graphTxt)
+	out, err := enum.Output()
+	if err != nil {
+		t.Fatalf("fodenum: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("expected 7 solutions, got %d:\n%s", len(lines), out)
+	}
+	for _, ln := range lines {
+		if len(strings.Fields(ln)) != 2 {
+			t.Fatalf("malformed solution line %q", ln)
+		}
+	}
+
+	// Count and test modes.
+	count := exec.Command(fodenum, "-query", "C0(x)", "-vars", "x", "-count")
+	count.Stdin = bytes.NewReader(graphTxt)
+	cout, err := count.Output()
+	if err != nil {
+		t.Fatalf("fodenum -count: %v", err)
+	}
+	if strings.TrimSpace(string(cout)) == "0" {
+		t.Fatal("expected a nonzero count of colored vertices")
+	}
+
+	next := exec.Command(fodenum, "-query", "C0(x)", "-vars", "x", "-next", "0")
+	next.Stdin = bytes.NewReader(graphTxt)
+	nout, err := next.Output()
+	if err != nil {
+		t.Fatalf("fodenum -next: %v", err)
+	}
+	if strings.TrimSpace(string(nout)) == "" {
+		t.Fatal("expected a next solution")
+	}
+}
+
+func TestCLIGenList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	fodgen := buildTool(t, "fodgen")
+	out, err := exec.Command(fodgen, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "grid") || !strings.Contains(string(out), "dense control") {
+		t.Fatalf("unexpected -list output:\n%s", out)
+	}
+}
+
+func TestCLIRelationalPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	fodrel := buildTool(t, "fodrel")
+	sample, err := exec.Command(fodrel, "-sample").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := exec.Command(fodrel, "-query", "Cites(x,y) & Seminal(y)", "-vars", "x,y")
+	run.Stdin = bytes.NewReader(sample)
+	out, err := run.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "1 0\n2 0\n4 2\n"
+	if string(out) != want {
+		t.Fatalf("fodrel output %q, want %q", out, want)
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	fodbench := buildTool(t, "fodbench")
+	out, err := exec.Command(fodbench, "-exp", "F1").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"R_1", "( 0,  19)", "Remove(19)"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("F1 output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Relational databases via Lemma 2.2: a citation database with relations
+// Cites(p, q) and Seminal(p) is encoded as the colored adjacency graph
+// A′(D); relational FO queries are translated to the graph vocabulary and
+// answered by the Theorem 2.3 index. This is exactly how the paper lifts
+// its colored-graph results to arbitrary databases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const papers = 6_000
+	db := repro.NewDatabase(papers)
+	db.AddRelation("Cites", 2)
+	db.AddRelation("Seminal", 1)
+
+	// A preferential-attachment-flavored citation graph: each paper cites
+	// up to three earlier papers. Citation databases of bounded out-degree
+	// have sparse adjacency encodings.
+	rng := rand.New(rand.NewSource(3))
+	for p := 1; p < papers; p++ {
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			db.Insert("Cites", p, rng.Intn(p))
+		}
+	}
+	for p := 0; p < papers/100; p++ {
+		db.Insert("Seminal", p)
+	}
+	fmt.Printf("database: %d papers, %d citations, %d seminal\n",
+		papers, len(db.Tuples("Cites")), len(db.Tuples("Seminal")))
+
+	// Direct citations of seminal papers: Cites(x, y) ∧ Seminal(y).
+	q, err := repro.ParseQuery("Cites(x,y) & Seminal(y)", "x", "y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	ix, err := repro.BuildDatabaseIndex(db, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encode + translate + index: %v\n", time.Since(start).Round(time.Millisecond))
+
+	count := 0
+	ix.Enumerate(func(sol []int) bool {
+		if count < 5 {
+			fmt.Printf("  paper %d cites seminal paper %d\n", sol[0], sol[1])
+		}
+		count++
+		return true
+	})
+	fmt.Printf("total: %d citations of seminal papers\n", count)
+
+	// Two-hop influence: papers citing a paper that cites a seminal one.
+	q2, err := repro.ParseQuery("exists z (Cites(x,z) & Cites(z,y)) & Seminal(y)", "x", "y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix2, err := repro.BuildDatabaseIndex(db, q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	ix2.Enumerate(func(sol []int) bool {
+		if shown < 5 {
+			fmt.Printf("  paper %d is two citation hops from seminal paper %d\n", sol[0], sol[1])
+		}
+		shown++
+		return shown < 2000
+	})
+	fmt.Printf("streamed %d two-hop influence pairs\n", shown)
+
+	// Constant-time membership checks on the database (Corollary 2.4).
+	fmt.Printf("does paper 100 directly cite seminal paper 5? %v\n",
+		ix.Test([]int{100, 5}))
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/skip"
+)
+
+// NextGeq is the main primitive of Theorem 2.3: it returns the
+// lexicographically smallest solution ā′ ≥ ā, or ok=false if none exists.
+// Per the paper's answering phase, the smallest matching tuple is computed
+// for every clause (τ, i) and the minimum is returned.
+func (e *Engine) NextGeq(a []graph.V) ([]graph.V, bool) {
+	if len(a) != e.k {
+		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
+	}
+	if e.g.N() == 0 {
+		return nil, false
+	}
+	var best []graph.V
+	for _, rt := range e.clauses {
+		cand := e.nextClause(rt, a)
+		if cand != nil && (best == nil || lexLess(cand, best)) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// NextGt returns the smallest solution strictly greater than ā.
+func (e *Engine) NextGt(a []graph.V) ([]graph.V, bool) {
+	succ, ok := incrementTuple(a, e.g.N())
+	if !ok {
+		return nil, false
+	}
+	return e.NextGeq(succ)
+}
+
+// NextLast implements Lemma 5.2: for a fixed (k−1)-prefix ā it returns
+// the smallest b′ ≥ b with (ā, b′) ∈ q(G), in constant time. This is the
+// induction step the paper nests with Theorem 5.1, and the natural
+// "page through partners of ā" primitive for applications.
+func (e *Engine) NextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
+	if len(prefix) != e.k-1 {
+		panic(fmt.Sprintf("core: prefix arity %d, want %d", len(prefix), e.k-1))
+	}
+	if b < 0 {
+		b = 0
+	}
+	best := graph.V(-1)
+	for _, rt := range e.clauses {
+		if !e.prefixMatches(rt, prefix) {
+			continue
+		}
+		if v := e.nextCandidate(rt, e.k-1, prefix, b); v >= 0 && (best < 0 || v < best) {
+			best = v
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// prefixMatches checks the clause constraints that involve only the
+// prefix: the distance pattern among its positions and the component
+// formulas of components fully contained in it.
+func (e *Engine) prefixMatches(rt *clauseRT, prefix []graph.V) bool {
+	for i := range prefix {
+		for j := i + 1; j < len(prefix); j++ {
+			if e.dix.Within(prefix[i], prefix[j], e.r) != rt.clause.Type.Close(i, j) {
+				return false
+			}
+		}
+	}
+	for _, c := range rt.comps {
+		if c.last >= len(prefix) {
+			continue
+		}
+		vals := make([]graph.V, len(c.positions))
+		for i, p := range c.positions {
+			vals[i] = prefix[p]
+		}
+		if !e.localEval(c, vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// Test implements Corollary 2.4: constant-time membership of ā in the
+// query result.
+func (e *Engine) Test(a []graph.V) bool {
+	if len(a) != e.k {
+		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
+	}
+	for _, rt := range e.clauses {
+		if e.testClause(rt, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
+	for i := 0; i < e.k; i++ {
+		for j := i + 1; j < e.k; j++ {
+			if e.dix.Within(a[i], a[j], e.r) != rt.clause.Type.Close(i, j) {
+				return false
+			}
+		}
+	}
+	for _, c := range rt.comps {
+		vals := make([]graph.V, len(c.positions))
+		for i, p := range c.positions {
+			vals[i] = a[p]
+		}
+		if !e.localEval(c, vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate implements Corollary 2.5: it yields every solution exactly
+// once, in increasing lexicographic order, until exhaustion or until yield
+// returns false. The tuple passed to yield is reused; copy it to retain it.
+func (e *Engine) Enumerate(yield func([]graph.V) bool) {
+	if e.g.N() == 0 {
+		return
+	}
+	cur := make([]graph.V, e.k)
+	for {
+		sol, ok := e.NextGeq(cur)
+		if !ok {
+			return
+		}
+		if !yield(sol) {
+			return
+		}
+		next, ok := incrementTuple(sol, e.g.N())
+		if !ok {
+			return
+		}
+		cur = next
+	}
+}
+
+// Count returns |q(G)| by full enumeration.
+func (e *Engine) Count() int {
+	n := 0
+	e.Enumerate(func([]graph.V) bool { n++; return true })
+	return n
+}
+
+// nextClause returns the smallest tuple ≥ a matching the clause, or nil.
+// It is a lexicographic backtracking search whose per-level candidate
+// generators are the paper's Case I (new component: skip pointers over the
+// starter list plus kernel scans) and Case II (ball scan around the
+// component's first element).
+func (e *Engine) nextClause(rt *clauseRT, a []graph.V) []graph.V {
+	tuple := make([]graph.V, e.k)
+	var rec func(j int, tight bool) bool
+	rec = func(j int, tight bool) bool {
+		if j == e.k {
+			return true
+		}
+		lower := 0
+		if tight {
+			lower = a[j]
+		}
+		for v := e.nextCandidate(rt, j, tuple[:j], lower); v >= 0; {
+			tuple[j] = v
+			e.stats.Candidates++
+			if rec(j+1, tight && v == a[j]) {
+				return true
+			}
+			e.stats.DeadEnds++
+			if v+1 >= e.g.N() {
+				break
+			}
+			v = e.nextCandidate(rt, j, tuple[:j], v+1)
+		}
+		return false
+	}
+	if rec(0, true) {
+		return tuple
+	}
+	return nil
+}
+
+// nextCandidate returns the smallest v ≥ lower that is admissible for
+// position j given the placed prefix, or -1.
+func (e *Engine) nextCandidate(rt *clauseRT, j int, prefix []graph.V, lower graph.V) graph.V {
+	if lower >= e.g.N() {
+		return -1
+	}
+	c := rt.comps[rt.compOf[j]]
+	if rt.firstOf[j] == j {
+		return e.nextOpening(rt, c, j, prefix, lower)
+	}
+	return e.nextWithinComponent(rt, c, j, prefix, lower)
+}
+
+// nextOpening handles a position that opens a new component: the candidate
+// must come from the component's starter list and be at distance > R from
+// every prefix element (all of which belong to other components). This is
+// the paper's Case I: the answer is the minimum of the skip-pointer
+// candidate (outside every kernel of the prefix's canonical bags, hence
+// automatically far) and one scan per canonical bag kernel.
+func (e *Engine) nextOpening(rt *clauseRT, c *compRT, j int, prefix []graph.V, lower graph.V) graph.V {
+	if len(prefix) == 0 {
+		i := sort.SearchInts(c.starter, lower)
+		if i == len(c.starter) {
+			return -1
+		}
+		return c.starter[i]
+	}
+	// Canonical bags of the prefix elements, deduplicated.
+	var bags []int
+	for _, p := range prefix {
+		x := e.cov.Assign(p)
+		dup := false
+		for _, y := range bags {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			bags = append(bags, x)
+		}
+	}
+	best := graph.V(-1)
+	if c.skip != nil {
+		if v := c.skip.Query(lower, bags); v != skip.None {
+			best = v
+		}
+	}
+	// Scan starter ∩ K_R(X) for each canonical bag X, rejecting candidates
+	// within distance R of some prefix element. Rejections are confined to
+	// the R-balls of the ≤ k−1 prefix elements, hence pseudo-constant on
+	// nowhere dense inputs.
+	for _, x := range bags {
+		lst := c.byKernel[x]
+		i := sort.SearchInts(lst, lower)
+		for ; i < len(lst); i++ {
+			v := lst[i]
+			if best >= 0 && v >= best {
+				break
+			}
+			if e.farFromAll(v, prefix) {
+				best = v
+				break
+			}
+		}
+	}
+	return best
+}
+
+func (e *Engine) farFromAll(v graph.V, prefix []graph.V) bool {
+	for _, p := range prefix {
+		if e.dix.Within(v, p, e.r) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextWithinComponent handles a position whose component already has a
+// placed element (Case II): candidates live in the ball of radius R(k−1)
+// around the component's first element; each is checked against the full
+// distance pattern to the prefix, and the component formula is evaluated
+// when the component completes at this position.
+func (e *Engine) nextWithinComponent(rt *clauseRT, c *compRT, j int, prefix []graph.V, lower graph.V) graph.V {
+	anchor := prefix[rt.firstOf[j]]
+	ball := e.cachedBall(anchor)
+	i := sort.SearchInts(ball, lower)
+	for ; i < len(ball); i++ {
+		v := ball[i]
+		if !e.patternOK(rt, j, prefix, v) {
+			continue
+		}
+		if j == c.last && !e.componentHolds(c, prefix, v) {
+			continue
+		}
+		return v
+	}
+	return -1
+}
+
+// patternOK verifies dist(prefix[i], v) ≤ R exactly matches the clause's
+// distance type for every placed position i.
+func (e *Engine) patternOK(rt *clauseRT, j int, prefix []graph.V, v graph.V) bool {
+	for i, p := range prefix {
+		if e.dix.Within(p, v, e.r) != rt.clause.Type.Close(i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// componentHolds evaluates ψ_I with the component completed by v at its
+// last position.
+func (e *Engine) componentHolds(c *compRT, prefix []graph.V, v graph.V) bool {
+	vals := make([]graph.V, len(c.positions))
+	for i, p := range c.positions[:len(c.positions)-1] {
+		vals[i] = prefix[p]
+	}
+	vals[len(vals)-1] = v
+	return e.localEval(c, vals)
+}
+
+// cachedBall memoizes componentBall per anchor vertex.
+func (e *Engine) cachedBall(anchor graph.V) []graph.V {
+	if e.ballCache == nil {
+		e.ballCache = map[graph.V][]graph.V{}
+	}
+	if b, ok := e.ballCache[anchor]; ok {
+		return b
+	}
+	b := e.componentBall(anchor)
+	e.ballCache[anchor] = b
+	return b
+}
+
+func lexLess(a, b []graph.V) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// incrementTuple returns the successor of a in the lexicographic order on
+// [0,n)^k, or ok=false at the maximum.
+func incrementTuple(a []graph.V, n int) ([]graph.V, bool) {
+	out := append([]graph.V(nil), a...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i]+1 < n {
+			out[i]++
+			return out, true
+		}
+		out[i] = 0
+	}
+	return nil, false
+}

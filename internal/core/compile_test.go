@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// compileQueries is the corpus of FO⁺ queries the compiler must handle;
+// each is compared against direct FO evaluation on whole graphs, so any
+// locality mistake in the compilation pipeline shows up as a diff.
+var compileQueries = []struct {
+	name string
+	src  string
+	vars []fo.Var
+}{
+	{"edge", "E(x,y)", []fo.Var{"x", "y"}},
+	{"close2", "dist(x,y) <= 2", []fo.Var{"x", "y"}},
+	{"far2-blue", "dist(x,y) > 2 & C0(y)", []fo.Var{"x", "y"}},
+	{"example1A", "exists z (E(x,z) & E(z,y)) | E(x,y) | x = y", []fo.Var{"x", "y"}},
+	{"neq-adjacent", "E(x,y) & x != y & C0(x)", []fo.Var{"x", "y"}},
+	{"guarded-exists", "C0(x) & dist(x,y) > 1 & exists z (E(y,z) & C1(z))", []fo.Var{"x", "y"}},
+	{"negated-local", "dist(x,y) > 2 & ~(exists z (E(x,z) & C0(z)))", []fo.Var{"x", "y"}},
+	{"disjunction-mixed", "dist(x,y) <= 1 & C1(x) | dist(x,y) > 2 & C0(x) & C0(y)", []fo.Var{"x", "y"}},
+	{"unary-dominator", "exists z (E(x,z) & C0(z)) | C0(x)", []fo.Var{"x"}},
+	{"with-sentence-guard", "C0(x) & exists z w (E(z,w) & C1(z) & C1(w))", []fo.Var{"x"}},
+	{"triple-far-blue", "dist(x,z) > 2 & dist(y,z) > 2 & C0(z)", []fo.Var{"x", "y", "z"}},
+	{"triple-path", "E(x,y) & E(y,z) & x != z", []fo.Var{"x", "y", "z"}},
+}
+
+func TestCompileMatchesDirectFOEvaluation(t *testing.T) {
+	for _, tc := range compileQueries {
+		phi := fo.MustParse(tc.src)
+		q, err := Compile(phi, tc.vars, CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		n := 60
+		if len(tc.vars) >= 3 {
+			n = 24 // naive is n^3·eval
+		}
+		for _, class := range []gen.Class{gen.Path, gen.Star, gen.RandomTree, gen.Grid} {
+			g := gen.Generate(class, n, gen.Options{Seed: 31, Colors: 2, ColorProb: 0.35})
+			e, err := Preprocess(g, q, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: preprocess: %v", tc.name, class, err)
+			}
+			got := materializeEngine(e)
+			want := naiveSolutions(g, phi, tc.vars)
+			if i, ok := tuplesEqual(got, want); !ok {
+				t.Fatalf("%s/%s: mismatch (engine %d vs direct %d tuples, first diff %v vs %v)",
+					tc.name, class, len(got), len(want), safeIndex(got, i), safeIndex(want, i))
+			}
+		}
+	}
+}
+
+// naiveSolutions is a local copy of naive.Solutions (the naive package
+// imports core, so core's tests cannot import it back).
+func naiveSolutions(g *graph.Graph, phi fo.Formula, vars []fo.Var) [][]graph.V {
+	ev := fo.NewEvaluator(g)
+	var out [][]graph.V
+	tuple := make([]graph.V, len(vars))
+	env := fo.Env{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			if ev.Eval(phi, env) {
+				out = append(out, append([]graph.V(nil), tuple...))
+			}
+			return
+		}
+		for v := 0; v < g.N(); v++ {
+			tuple[i] = v
+			env[vars[i]] = v
+			rec(i + 1)
+		}
+		delete(env, vars[i])
+	}
+	rec(0)
+	return out
+}
+
+func TestCompileRejectsCrossComponentQuantifier(t *testing.T) {
+	// ∃z (E(x,z) ∧ E(z,y)) under a far type spans both components... but
+	// at R ≥ 2 the subformula implies dist(x,y) ≤ 2 ≤ R, so with the
+	// default R it is decided by closeness — whereas an explicit big
+	// cross-component distance atom cannot be.
+	phi := fo.MustParse("dist(x,y) <= 9")
+	if _, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{R: 2}); err == nil {
+		t.Fatal("expected a compile error for a cross-component atom with d > R")
+	}
+}
+
+func TestCompileSpanningSubformulaRejected(t *testing.T) {
+	// ∃z (E(x,z) ∨ E(y,z)) gives no distance bound between x and y, so no
+	// threshold can decide it under a far type.
+	phi := fo.MustParse("exists z (E(x,z) | E(y,z))")
+	if _, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{}); err == nil {
+		t.Fatal("expected a compile error for a component-spanning subformula")
+	}
+}
+
+func TestCompileImpliedBoundDecidesSpanningUnit(t *testing.T) {
+	// ∃z (E(x,z) ∧ E(z,y)) implies dist(x,y) ≤ 2, so with R = 2 it is
+	// false under far types and stays local under close types.
+	phi := fo.MustParse("exists z (E(x,z) & E(z,y))")
+	q, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.R != 2 {
+		t.Fatalf("default R = %d, want the implied bound 2", q.R)
+	}
+}
+
+func TestCompileDefaultRadii(t *testing.T) {
+	phi := fo.MustParse("dist(x,y) <= 3 & C0(x)")
+	q, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.R != 3 {
+		t.Fatalf("default R = %d, want 3", q.R)
+	}
+	if q.LocalRadius < 3 {
+		t.Fatalf("LocalRadius %d < R", q.LocalRadius)
+	}
+}
+
+func TestCompileGuardSentences(t *testing.T) {
+	phi := fo.MustParse("C0(x) & exists z C1(z)")
+	q, err := Compile(phi, []fo.Var{"x"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Guards == nil {
+		t.Fatal("expected a guard for the sentence conjunct")
+	}
+	// Graph without color-1 vertices → guard fails → empty result even
+	// though color-0 vertices exist.
+	b := graph.NewBuilder(30, 2)
+	for v := 0; v+1 < 30; v++ {
+		b.AddEdge(v, v+1)
+	}
+	b.SetColor(5, 0)
+	g := b.Build()
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatal("guard should suppress all solutions")
+	}
+}

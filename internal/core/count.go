@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// FastCount returns |q(G)| without enumerating the result set, in
+// pseudo-linear time, for queries of arity 1 and 2 — the companion result
+// to the paper (Grohe & Schweikardt, "First-order query evaluation with
+// cardinality conditions", cited as [18]) states that counting FO answers
+// over nowhere dense classes is pseudo-linear. ok=false means the arity is
+// not supported and the caller should fall back to Count().
+//
+// Arity 1: the clause starter lists are exact solution lists; count their
+// union. Arity 2: group clauses by distance type; close-type groups are
+// counted by scanning R-balls, far-type groups by inclusion–exclusion
+//
+//	#far(L0, L1) = |L0|·|L1| − #close(L0, L1),
+//
+// with the close-pair term again a ball scan. Both scans cost Σ_a ‖N_R(a)‖.
+func (e *Engine) FastCount() (int, bool) {
+	switch e.k {
+	case 1:
+		return e.fastCount1(), true
+	case 2:
+		return e.fastCount2(), true
+	}
+	return 0, false
+}
+
+func (e *Engine) fastCount1() int {
+	seen := make([]bool, e.g.N())
+	total := 0
+	for _, rt := range e.clauses {
+		for _, v := range rt.comps[0].starter {
+			if !seen[v] {
+				seen[v] = true
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func (e *Engine) fastCount2() int {
+	groups := map[string][]*clauseRT{}
+	var order []string
+	for _, rt := range e.clauses {
+		k := rt.clause.Type.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], rt)
+	}
+	total := 0
+	for _, key := range order {
+		g := groups[key]
+		if g[0].clause.Type.Close(0, 1) {
+			total += e.countCloseGroup(g)
+		} else {
+			total += e.countFarGroup(g)
+		}
+	}
+	return total
+}
+
+// countCloseGroup counts pairs (a, b) with dist(a,b) ≤ R whose component
+// formula holds for at least one clause of the group.
+func (e *Engine) countCloseGroup(group []*clauseRT) int {
+	count := 0
+	vals := make([]graph.V, 2)
+	for a := 0; a < e.g.N(); a++ {
+		for _, b := range e.cachedBall(a) {
+			vals[0], vals[1] = a, b
+			for _, rt := range group {
+				if e.localEval(rt.comps[0], vals) {
+					count++
+					break
+				}
+			}
+		}
+	}
+	return count
+}
+
+// countFarGroup counts pairs (a, b) with dist(a,b) > R matching at least
+// one clause, by inclusion–exclusion over the group's clauses: for each
+// non-empty subset S, the tuples matching all clauses of S are pairs from
+// the starter-list intersections, minus the close ones.
+func (e *Engine) countFarGroup(group []*clauseRT) int {
+	m := len(group)
+	total := 0
+	for mask := 1; mask < 1<<uint(m); mask++ {
+		var l0, l1 []graph.V
+		first := true
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if first {
+				l0 = group[i].comps[0].starter
+				l1 = group[i].comps[1].starter
+				first = false
+			} else {
+				l0 = intersectSorted(l0, group[i].comps[0].starter)
+				l1 = intersectSorted(l1, group[i].comps[1].starter)
+			}
+		}
+		far := len(l0)*len(l1) - e.closePairs(l0, l1)
+		if popcount(mask)%2 == 1 {
+			total += far
+		} else {
+			total -= far
+		}
+	}
+	return total
+}
+
+// closePairs counts pairs (a, b) with a ∈ A, b ∈ B, dist(a,b) ≤ R, via an
+// R-ball scan per element of A.
+func (e *Engine) closePairs(A, B []graph.V) int {
+	if len(A) == 0 || len(B) == 0 {
+		return 0
+	}
+	inB := make(map[graph.V]bool, len(B))
+	for _, b := range B {
+		inB[b] = true
+	}
+	count := 0
+	for _, a := range A {
+		for _, b := range e.ballR(a) {
+			if inB[b] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ballR returns the exact N_R(a), memoized. (cachedBall uses radius
+// R·(k−1), which equals R only for k=2, so keep a dedicated cache.)
+func (e *Engine) ballR(a graph.V) []graph.V {
+	if e.ballRCache == nil {
+		e.ballRCache = map[graph.V][]graph.V{}
+	}
+	if b, ok := e.ballRCache[a]; ok {
+		return b
+	}
+	var out []graph.V
+	if e.q.Guarded {
+		bfs := e.globalScratch()
+		ball := bfs.Ball(a, e.r)
+		out = make([]graph.V, len(ball))
+		for i, w := range ball {
+			out[i] = int(w)
+		}
+	} else {
+		bag := e.cov.Assign(a)
+		sub := e.bagSubs[bag]
+		bfs := e.bagScratch(bag)
+		ball := bfs.Ball(sub.Local(a), e.r)
+		out = make([]graph.V, len(ball))
+		for i, w := range ball {
+			out[i] = sub.Orig[int(w)]
+		}
+	}
+	sort.Ints(out)
+	e.ballRCache[a] = out
+	return out
+}
+
+func intersectSorted(a, b []graph.V) []graph.V {
+	var out []graph.V
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+)
+
+func TestFastCountMatchesEnumerationUnary(t *testing.T) {
+	phi := fo.MustParse("C0(x) & exists z (E(x,z) & C1(z))")
+	q, err := Compile(phi, []fo.Var{"x"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []gen.Class{gen.Path, gen.Grid, gen.RandomTree} {
+		g := gen.Generate(class, 300, gen.Options{Seed: 3, Colors: 2, ColorProb: 0.4})
+		e, err := Preprocess(g, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, ok := e.FastCount()
+		if !ok {
+			t.Fatal("unary FastCount unsupported")
+		}
+		if slow := e.Count(); fast != slow {
+			t.Fatalf("%s: FastCount %d != Count %d", class, fast, slow)
+		}
+	}
+}
+
+func TestFastCountMatchesEnumerationBinary(t *testing.T) {
+	queries := []string{
+		"dist(x,y) > 2 & C0(y)",
+		"dist(x,y) <= 2 & C0(x) & C1(y)",
+		"dist(x,y) > 2 & C0(x) | dist(x,y) > 2 & C1(y)", // two far clauses → inclusion–exclusion
+		"E(x,y)",
+		"dist(x,y) <= 1 | dist(x,y) > 2 & C0(x)", // mixed types
+	}
+	for _, src := range queries {
+		phi := fo.MustParse(src)
+		q, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, class := range []gen.Class{gen.Grid, gen.Caterpillar, gen.BoundedDegree} {
+			g := gen.Generate(class, 150, gen.Options{Seed: 5, Colors: 2, ColorProb: 0.3})
+			e, err := Preprocess(g, q, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", src, class, err)
+			}
+			fast, ok := e.FastCount()
+			if !ok {
+				t.Fatal("binary FastCount unsupported")
+			}
+			if slow := e.Count(); fast != slow {
+				t.Fatalf("%s on %s: FastCount %d != Count %d", src, class, fast, slow)
+			}
+		}
+	}
+}
+
+func TestFastCountUnsupportedArity(t *testing.T) {
+	phi := fo.MustParse("dist(x,z) > 2 & dist(y,z) > 2 & C0(z)")
+	q, err := Compile(phi, []fo.Var{"x", "y", "z"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Path, 30, gen.Options{Seed: 1, Colors: 1})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.FastCount(); ok {
+		t.Fatal("arity 3 should be unsupported")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestEngineArity4 exercises the full 4-column pipeline (skip sets of
+// size 3) on a small graph against naive evaluation.
+func TestEngineArity4(t *testing.T) {
+	phi := fo.MustParse(
+		"dist(w,x) > 2 & dist(w,y) > 2 & dist(w,z) > 2 & dist(x,y) > 2 & dist(x,z) > 2 & dist(y,z) > 2 & C0(w)")
+	vars := []fo.Var{"w", "x", "y", "z"}
+	q, err := Compile(phi, vars, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Path, 16, gen.Options{Seed: 3, Colors: 1, ColorProb: 0.5})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeEngine(e)
+	want := naiveSolutions(g, phi, vars)
+	if i, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("arity-4 mismatch near %d: %d vs %d tuples", i, len(got), len(want))
+	}
+}
+
+// TestEngineArity5 is the maximum supported arity (skip sets of size 4).
+func TestEngineArity5(t *testing.T) {
+	phi := fo.MustParse("E(v,w) & dist(w,x) > 1 & dist(v,x) > 1 & dist(x,y) > 1 & dist(x,z) > 1 & " +
+		"dist(y,v) > 1 & dist(y,w) > 1 & dist(z,v) > 1 & dist(z,w) > 1 & E(y,z) & C0(x)")
+	vars := []fo.Var{"v", "w", "x", "y", "z"}
+	q, err := Compile(phi, vars, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Cycle, 12, gen.Options{Seed: 4, Colors: 1, ColorProb: 0.5})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeEngine(e)
+	want := naiveSolutions(g, phi, vars)
+	if i, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("arity-5 mismatch near %d: %d vs %d tuples", i, len(got), len(want))
+	}
+}
+
+func TestEngineArity6Rejected(t *testing.T) {
+	typ := fo.NewDistType(6)
+	cl, err := MakeClause(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &LocalQuery{K: 6, R: 1, LocalRadius: 1, Clauses: []Clause{cl}}
+	g := gen.Generate(gen.Path, 8, gen.Options{})
+	if _, err := Preprocess(g, q, Options{}); err == nil {
+		t.Fatal("arity 6 should be rejected")
+	}
+}
+
+// TestEngineDisconnectedGraph: components of the graph interact only
+// through "far" clauses.
+func TestEngineDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(40, 1)
+	for v := 0; v+1 < 20; v++ {
+		b.AddEdge(v, v+1) // component A: path 0..19
+	}
+	for v := 20; v+1 < 40; v++ {
+		b.AddEdge(v, v+1) // component B: path 20..39
+	}
+	for v := 0; v < 40; v += 3 {
+		b.SetColor(v, 0)
+	}
+	g := b.Build()
+	q := buildQ2(t)
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeEngine(e)
+	want := materializeReference(g, q)
+	if _, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("disconnected: %d vs %d tuples", len(got), len(want))
+	}
+	// Cross-component pairs are always far: (0, 20) qualifies iff 20 blue.
+	if !e.Test([]graph.V{0, 21}) {
+		t.Fatal("cross-component blue pair should qualify")
+	}
+}
+
+func TestEngineSingleVertexGraph(t *testing.T) {
+	b := graph.NewBuilder(1, 1)
+	b.SetColor(0, 0)
+	g := b.Build()
+	q := buildQ2(t)
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only tuple is (0,0), at distance 0 — never "far".
+	if e.Count() != 0 {
+		t.Fatal("single vertex cannot be far from itself")
+	}
+	// A close-type query accepts it.
+	qc := buildClose(t)
+	ec, err := Preprocess(g, qc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Count() != 1 {
+		t.Fatal("(0,0) is within distance 2 of itself")
+	}
+}
+
+// TestEngineDuplicateTypeClauses: two clauses with the same distance type
+// behave as a union without duplicates.
+func TestEngineDuplicateTypeClauses(t *testing.T) {
+	far := fo.NewDistType(2)
+	cl1, err := MakeClause(far, fo.HasColor{C: 0, X: PosVar(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far2 := fo.NewDistType(2)
+	cl2, err := MakeClause(far2, fo.HasColor{C: 1, X: PosVar(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &LocalQuery{K: 2, R: 2, LocalRadius: 2, Clauses: []Clause{cl1, cl2}}
+	g := gen.Generate(gen.Grid, 81, gen.Options{Seed: 9, Colors: 2, ColorProb: 0.4})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeEngine(e)
+	want := materializeReference(g, q)
+	if _, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("duplicate-type union: %d vs %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if !lexLess(got[i-1], got[i]) {
+			t.Fatalf("duplicate emitted at %d", i)
+		}
+	}
+	// FastCount must agree despite the inclusion–exclusion.
+	if fast, ok := e.FastCount(); !ok || fast != len(want) {
+		t.Fatalf("FastCount = %d,%v want %d", fast, ok, len(want))
+	}
+}
+
+// TestEngineStatsPopulated sanity-checks the statistics surface.
+func TestEngineStatsPopulated(t *testing.T) {
+	q := buildQ2(t)
+	g := gen.Generate(gen.Grid, 196, gen.Options{Seed: 2, Colors: 1, ColorProb: 0.3})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CoverBags < 1 || st.CoverRadius < 2 {
+		t.Fatalf("cover stats: %+v", st)
+	}
+	if len(st.StarterSizes) == 0 {
+		t.Fatal("no starter sizes recorded")
+	}
+	e.Count()
+	if e.Stats().Candidates == 0 {
+		t.Fatal("no candidates counted during enumeration")
+	}
+}
+
+// TestEngineIsolatedVertices: vertices without edges participate in far
+// clauses only.
+func TestEngineIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder(10, 1)
+	b.AddEdge(0, 1)
+	for v := 0; v < 10; v++ {
+		b.SetColor(v, 0)
+	}
+	g := b.Build()
+	q := buildQ2(t)
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := materializeEngine(e)
+	want := materializeReference(g, q)
+	if _, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("isolated vertices: %d vs %d", len(got), len(want))
+	}
+	// 10·10 pairs minus the close ones: the 10 self-pairs (distance 0)
+	// plus (0,1) and (1,0).
+	if len(got) != 88 {
+		t.Fatalf("expected 88 far pairs, got %d", len(got))
+	}
+}

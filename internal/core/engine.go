@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/fo"
+	"repro/internal/graph"
+	"repro/internal/skip"
+)
+
+// Options tunes engine preprocessing.
+type Options struct {
+	// Dist forwards to the distance index of Proposition 4.2.
+	Dist dist.Options
+}
+
+// Stats reports preprocessing facts and running counters of the answering
+// phase.
+type Stats struct {
+	CoverRadius   int
+	CoverBags     int
+	CoverDegree   int
+	StarterSizes  []int // per (clause, component) starter-list size
+	SkipPointers  int   // total materialized skip pointers
+	Candidates    int   // candidates examined by NextGeq calls
+	DeadEnds      int   // candidates rejected after deeper levels failed
+	LocalEvals    int   // bag-local formula evaluations (memo misses)
+	LocalEvalHits int   // memo hits
+}
+
+// Engine is the preprocessed structure of Theorem 2.3 for one graph and one
+// LocalQuery. It is not safe for concurrent use.
+type Engine struct {
+	g   *graph.Graph
+	q   *LocalQuery
+	k   int
+	r   int // distance-type threshold R
+	rho int // local radius ρ
+
+	dix     *dist.Index
+	gev     *fo.Evaluator // global evaluator with dist atoms served by dix
+	cov     *cover.Cover
+	bagSubs []*graph.Sub // only materialized for non-guarded queries
+	bagBFS  []*graph.BFS // lazy per-bag scratch
+	gbfs    *graph.BFS   // global scratch (guarded paths)
+
+	clauses    []*clauseRT
+	ballCache  map[graph.V][]graph.V
+	ballRCache map[graph.V][]graph.V
+	stats      Stats
+}
+
+// clauseRT is the runtime form of one clause.
+type clauseRT struct {
+	clause  *Clause
+	comps   []*compRT
+	compOf  []int // position -> index into comps
+	firstOf []int // position -> earliest position of its component
+}
+
+// compRT is the runtime form of one component formula.
+type compRT struct {
+	positions []int
+	typ       *fo.DistType // the owning clause's distance type
+	psi       fo.Formula
+	vars      []fo.Var // PosVar of each position, aligned with positions
+	last      int      // max position (where ψ gets tested)
+
+	// Starter machinery for the component's first position (Case I of the
+	// paper, generalized to every level that opens a new component).
+	starter      []graph.V // sorted vertices that can open the component
+	inStart      []bool    // membership, indexed by vertex
+	starterReady bool      // inStart complete: O(1) unary evaluation
+	skip         *skip.Pointers
+	byKernel     [][]graph.V // per bag: starter ∩ K_R(bag), sorted
+
+	memo map[string]bool // bag-local evaluation memo
+}
+
+// Preprocess builds the Theorem 2.3 index: distance index, (kR+ρ, ·)
+// neighborhood cover with R-kernels, per-clause starter lists, and skip
+// pointers. Its cost is pseudo-linear on nowhere dense inputs.
+func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.K > skip.MaxSetSize+1 {
+		return nil, fmt.Errorf("core: arity %d exceeds supported maximum %d", q.K, skip.MaxSetSize+1)
+	}
+	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius}
+
+	// Distance index (Proposition 4.2) for the type tests dist ≤ R and —
+	// on guarded queries — for the distance atoms inside the component
+	// formulas, whose constants may exceed R.
+	distR := e.r
+	for ci := range q.Clauses {
+		for li := range q.Clauses[ci].Locals {
+			if d := fo.MaxDistConstant(q.Clauses[ci].Locals[li].Psi); d > distR {
+				distR = d
+			}
+		}
+	}
+	e.dix = dist.New(g, distR, opt.Dist)
+	e.gev = fo.NewEvaluator(g)
+	e.gev.UseDistTester(e.dix)
+
+	// Cover radius. The kernels make "outside every kernel ⇒ far from
+	// every previous element" sound, which needs bags ⊇ N_{2R}(center of
+	// coverage). Guarded queries evaluate their local formulas on global
+	// balls, so 2R suffices; hand-built queries additionally need the bag
+	// to contain N_ρ(ā_I) around the component's first element (ā_I spans
+	// ≤ R(k−1) from it), because their semantics is tied to G[N_ρ(ā_I)]
+	// computed inside the bag.
+	coverR := 2 * e.r
+	if !q.Guarded {
+		if alt := e.r*e.k + e.rho; alt > coverR {
+			coverR = alt
+		}
+	}
+	e.cov = cover.Compute(g, coverR)
+	e.cov.ComputeKernels(e.r)
+	e.stats.CoverRadius = coverR
+	e.stats.CoverBags = e.cov.NumBags()
+	e.stats.CoverDegree = e.cov.Degree()
+
+	if !q.Guarded {
+		e.bagSubs = make([]*graph.Sub, e.cov.NumBags())
+		e.bagBFS = make([]*graph.BFS, e.cov.NumBags())
+		for i := range e.bagSubs {
+			e.bagSubs[i] = graph.Induce(g, e.cov.Bag(i))
+		}
+	}
+
+	// Evaluate guards once (the ξ^i_τ sentences of Theorem 5.4) and drop
+	// failing clauses.
+	var live []Clause
+	for ci := range q.Clauses {
+		if q.Guards != nil && q.Guards[ci] != nil {
+			gd := q.Guards[ci]
+			holds := fo.NewEvaluator(g).Eval(gd.Sentence, fo.Env{})
+			if holds == gd.Negated {
+				continue
+			}
+		}
+		live = append(live, q.Clauses[ci])
+	}
+
+	for ci := range live {
+		rt, err := e.buildClause(&live[ci])
+		if err != nil {
+			return nil, err
+		}
+		e.clauses = append(e.clauses, rt)
+	}
+	return e, nil
+}
+
+func (e *Engine) buildClause(cl *Clause) (*clauseRT, error) {
+	rt := &clauseRT{
+		clause:  cl,
+		compOf:  make([]int, e.k),
+		firstOf: make([]int, e.k),
+	}
+	for li := range cl.Locals {
+		lf := &cl.Locals[li]
+		c := &compRT{
+			positions: lf.Positions,
+			typ:       cl.Type,
+			psi:       lf.Psi,
+			last:      lf.Positions[len(lf.Positions)-1],
+			memo:      map[string]bool{},
+		}
+		for _, p := range lf.Positions {
+			c.vars = append(c.vars, PosVar(p))
+			rt.compOf[p] = li
+			rt.firstOf[p] = lf.Positions[0]
+		}
+		e.computeStarter(c)
+		e.stats.StarterSizes = append(e.stats.StarterSizes, len(c.starter))
+		if e.k >= 2 {
+			c.skip = skip.New(e.g, e.cov, e.k-1, c.starter)
+			e.stats.SkipPointers += c.skip.Size()
+		}
+		e.buildKernelLists(c)
+		rt.comps = append(rt.comps, c)
+	}
+	return rt, nil
+}
+
+// computeStarter fills c.starter: the vertices v that can take the
+// component's first position, i.e. for which the component has a local
+// solution with first coordinate v (Step 12 of the paper for singleton
+// components; the multi-position generalization searches the ball around v
+// for a completion respecting the component's internal distance pattern).
+func (e *Engine) computeStarter(c *compRT) {
+	c.inStart = make([]bool, e.g.N())
+	for v := 0; v < e.g.N(); v++ {
+		ok := false
+		if len(c.positions) == 1 {
+			ok = e.localEval(c, []graph.V{v})
+		} else {
+			ok = e.completesComponent(c, []graph.V{v})
+		}
+		if ok {
+			c.starter = append(c.starter, v)
+			c.inStart[v] = true
+		}
+	}
+	if len(c.positions) == 1 {
+		// The starter list IS the unary solution list; later localEval
+		// calls answer from the bitmap in O(1).
+		c.starterReady = true
+	}
+}
+
+// completesComponent reports whether the partial component assignment
+// (values for c.positions[:len(vals)]) extends to a full local solution of
+// the component, searching candidates in the ball around the first value.
+func (e *Engine) completesComponent(c *compRT, vals []graph.V) bool {
+	if len(vals) == len(c.positions) {
+		return e.checkComponentType(c, vals) && e.localEval(c, vals)
+	}
+	// Candidates for the next position: within R·(|I|−1) of the first.
+	for _, w := range e.cachedBall(vals[0]) {
+		if e.partialTypeOK(c, vals, w) && e.completesComponent(c, append(vals, w)) {
+			return true
+		}
+	}
+	return false
+}
+
+// componentBall returns the sorted ball of radius R·(k−1) around v, in
+// original vertex ids. Every component completion lives inside it. Guarded
+// queries compute it on the global graph; hand-built queries inside the
+// bag 𝒳(v) (the two agree on the ball itself, since the bag contains it).
+func (e *Engine) componentBall(v graph.V) []graph.V {
+	radius := e.r * (e.k - 1)
+	if e.q.Guarded {
+		bfs := e.globalScratch()
+		ball := bfs.Ball(v, radius)
+		out := make([]graph.V, len(ball))
+		for i, w := range ball {
+			out[i] = int(w)
+		}
+		sort.Ints(out)
+		return out
+	}
+	bag := e.cov.Assign(v)
+	sub := e.bagSubs[bag]
+	bfs := e.bagScratch(bag)
+	ball := bfs.Ball(sub.Local(v), radius)
+	out := make([]graph.V, len(ball))
+	for i, w := range ball {
+		out[i] = sub.Orig[int(w)]
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *Engine) bagScratch(bag int) *graph.BFS {
+	if e.bagBFS[bag] == nil {
+		e.bagBFS[bag] = graph.NewBFS(e.bagSubs[bag].G)
+	}
+	return e.bagBFS[bag]
+}
+
+func (e *Engine) globalScratch() *graph.BFS {
+	if e.gbfs == nil {
+		e.gbfs = graph.NewBFS(e.g)
+	}
+	return e.gbfs
+}
+
+// partialTypeOK checks the distance-type edges between the prospective
+// value w (for position c.positions[len(vals)]) and the already placed
+// component values.
+func (e *Engine) partialTypeOK(c *compRT, vals []graph.V, w graph.V) bool {
+	pj := c.positions[len(vals)]
+	for i, v := range vals {
+		pi := c.positions[i]
+		if e.dix.Within(v, w, e.r) != c.typeClose(pi, pj) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *compRT) typeClose(pi, pj int) bool { return c.typ.Close(pi, pj) }
+
+// checkComponentType re-verifies all internal type edges of the component.
+func (e *Engine) checkComponentType(c *compRT, vals []graph.V) bool {
+	for i := range vals {
+		for j := i + 1; j < len(vals); j++ {
+			if e.dix.Within(vals[i], vals[j], e.r) != c.typeClose(c.positions[i], c.positions[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildKernelLists fills c.byKernel[bag] = starter ∩ K_R(bag).
+func (e *Engine) buildKernelLists(c *compRT) {
+	c.byKernel = make([][]graph.V, e.cov.NumBags())
+	for i := 0; i < e.cov.NumBags(); i++ {
+		for _, v := range e.cov.Kernel(i) {
+			if c.inStart[v] {
+				c.byKernel[i] = append(c.byKernel[i], v)
+			}
+		}
+	}
+}
+
+// localEval evaluates ψ_I(ā_I) locally, with memoization. vals is aligned
+// with c.positions. For guarded queries (compiler-certified witness
+// bounds) the formula is evaluated on the global graph with quantifiers
+// restricted to the ρ-ball and distance atoms served by the index — no
+// subgraph construction at all. Hand-built queries get the literal
+// G[N_ρ(ā_I)] semantics of EvalReference.
+func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
+	if c.starterReady && len(vals) == 1 {
+		return c.inStart[vals[0]]
+	}
+	key := tupleKey(vals)
+	if r, ok := c.memo[key]; ok {
+		e.stats.LocalEvalHits++
+		return r
+	}
+	e.stats.LocalEvals++
+	var res bool
+	if e.q.Guarded {
+		// Global semantics: ball on the global graph, quantifiers over the
+		// ball, distance atoms via the index. No subgraph construction.
+		bfs := e.globalScratch()
+		ball := bfs.BallMulti(vals, e.rho)
+		domain := make([]graph.V, len(ball))
+		for i, w := range ball {
+			domain[i] = int(w)
+		}
+		env := fo.Env{}
+		for i, v := range vals {
+			env[c.vars[i]] = v
+		}
+		res = e.gev.EvalOver(c.psi, env, domain)
+	} else {
+		res = e.exactBallEval(c, vals)
+	}
+	c.memo[key] = res
+	return res
+}
+
+// exactBallEval is the literal G[N_ρ(ā_I)] semantics for hand-built
+// (uncertified) queries, evaluated inside the bag of the first element.
+func (e *Engine) exactBallEval(c *compRT, vals []graph.V) bool {
+	bag := e.cov.Assign(vals[0])
+	sub := e.bagSubs[bag]
+	locals := make([]graph.V, len(vals))
+	for i, v := range vals {
+		lv := sub.Local(v)
+		if lv < 0 {
+			// The component values must all lie inside the bag of the
+			// first element (they are within R(k−1) ≤ coverR of it); a
+			// miss means the tuple violates the component's distance
+			// pattern, so it is no solution.
+			return false
+		}
+		locals[i] = lv
+	}
+	bfs := e.bagScratch(bag)
+	ball := bfs.BallMulti(locals, e.rho)
+	vs := make([]graph.V, len(ball))
+	for i, w := range ball {
+		vs[i] = int(w)
+	}
+	ballSub := graph.Induce(sub.G, vs)
+	ev := fo.NewCachedEvaluator(ballSub.G)
+	env := fo.Env{}
+	for i := range vals {
+		env[c.vars[i]] = ballSub.Local(locals[i])
+	}
+	return ev.Eval(c.psi, env)
+}
+
+func tupleKey(vals []graph.V) string {
+	b := make([]byte, 0, len(vals)*5)
+	for _, v := range vals {
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// Stats returns the current statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Query returns the query the engine was built for.
+func (e *Engine) Query() *LocalQuery { return e.q }

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the decomposed normal form: one line per clause with its
+// distance type and component formulas — the compiled "plan" of a query.
+func (q *LocalQuery) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "LocalQuery(k=%d, R=%d, ρ=%d", q.K, q.R, q.LocalRadius)
+	if q.Guarded {
+		sb.WriteString(", guarded")
+	}
+	fmt.Fprintf(&sb, ", %d clauses)\n", len(q.Clauses))
+	for ci, cl := range q.Clauses {
+		fmt.Fprintf(&sb, "  clause %d: %s\n", ci, cl.Type)
+		for _, lf := range cl.Locals {
+			fmt.Fprintf(&sb, "    I=%v: %s\n", lf.Positions, lf.Psi)
+		}
+		if q.Guards != nil && q.Guards[ci] != nil {
+			neg := ""
+			if q.Guards[ci].Negated {
+				neg = "¬"
+			}
+			fmt.Fprintf(&sb, "    guard: %s[%s]\n", neg, q.Guards[ci].Sentence)
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// Explain describes the preprocessed index: the surviving clauses, their
+// starter-list sizes, skip-pointer counts, and the cover shape. It is the
+// EXPLAIN output for a Theorem 2.3 index.
+func (e *Engine) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "index over %s\n", e.g)
+	fmt.Fprintf(&sb, "  cover: radius %d, %d bags, degree %d\n",
+		e.stats.CoverRadius, e.stats.CoverBags, e.stats.CoverDegree)
+	fmt.Fprintf(&sb, "  distance index: radius %d, %v\n", e.dix.Radius(), e.dix.Stats())
+	fmt.Fprintf(&sb, "  %d live clauses (after guard evaluation):\n", len(e.clauses))
+	for ci, rt := range e.clauses {
+		fmt.Fprintf(&sb, "    clause %d: %s\n", ci, rt.clause.Type)
+		for _, c := range rt.comps {
+			skipSize := 0
+			if c.skip != nil {
+				skipSize = c.skip.Size()
+			}
+			fmt.Fprintf(&sb, "      I=%v: |starter|=%d, skip pointers=%d, ψ=%s\n",
+				c.positions, len(c.starter), skipSize, c.psi)
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+)
+
+func TestLocalQueryString(t *testing.T) {
+	q, err := Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"k=2", "R=2", "guarded", "clause 0", "C0(x1)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	q, err := Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Grid, 100, gen.Options{Seed: 1, Colors: 1, ColorProb: 0.3})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Explain()
+	for _, want := range []string{"cover:", "distance index:", "live clauses", "|starter|="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explain missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+)
+
+// queryGen generates random FO⁺ queries inside the compilable fragment:
+// Boolean combinations of atoms over the position variables and guarded
+// quantified subformulas anchored at a single position variable.
+type queryGen struct {
+	rng    *rand.Rand
+	vars   []fo.Var
+	colors int
+	fresh  int
+}
+
+func (qg *queryGen) variable() fo.Var { return qg.vars[qg.rng.Intn(len(qg.vars))] }
+
+func (qg *queryGen) formula(depth int) fo.Formula {
+	if depth == 0 {
+		return qg.atom()
+	}
+	switch qg.rng.Intn(6) {
+	case 0:
+		return fo.AndOf(qg.formula(depth-1), qg.formula(depth-1))
+	case 1:
+		return fo.OrOf(qg.formula(depth-1), qg.formula(depth-1))
+	case 2:
+		return fo.NotOf(qg.formula(depth - 1))
+	case 3:
+		return qg.guardedExists()
+	default:
+		return qg.atom()
+	}
+}
+
+func (qg *queryGen) atom() fo.Formula {
+	x, y := qg.variable(), qg.variable()
+	switch qg.rng.Intn(5) {
+	case 0:
+		return fo.Edge{X: x, Y: y}
+	case 1:
+		return fo.HasColor{C: qg.rng.Intn(qg.colors), X: x}
+	case 2:
+		return fo.Eq{X: x, Y: y}
+	case 3:
+		return fo.DistLeq{X: x, Y: y, D: 1 + qg.rng.Intn(2)}
+	default:
+		return fo.NotOf(fo.DistLeq{X: x, Y: y, D: 1 + qg.rng.Intn(2)})
+	}
+}
+
+// guardedExists produces ∃z (dist(x, z) ≤ d ∧ body(z, x)) — a witness
+// anchored at one position variable, which keeps the query local.
+func (qg *queryGen) guardedExists() fo.Formula {
+	qg.fresh++
+	z := fo.Var(fmt.Sprintf("w%d", qg.fresh))
+	x := qg.variable()
+	guard := fo.DistLeq{X: x, Y: z, D: 1 + qg.rng.Intn(2)}
+	var body fo.Formula
+	switch qg.rng.Intn(3) {
+	case 0:
+		body = fo.HasColor{C: qg.rng.Intn(qg.colors), X: z}
+	case 1:
+		body = fo.Edge{X: z, Y: x}
+	default:
+		body = fo.NotOf(fo.HasColor{C: qg.rng.Intn(qg.colors), X: z})
+	}
+	f := fo.Exists{V: z, F: fo.AndOf(guard, body)}
+	if qg.rng.Intn(2) == 0 {
+		return fo.NotOf(f)
+	}
+	return f
+}
+
+// TestFuzzEngineAgainstNaive is the differential fuzzer: random queries of
+// arities 1 and 2 over random sparse graphs, engine results compared
+// against direct FO evaluation tuple by tuple.
+func TestFuzzEngineAgainstNaive(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	classes := []gen.Class{gen.Path, gen.Star, gen.RandomTree, gen.Grid, gen.BoundedDegree}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		arity := 1 + rng.Intn(2)
+		vars := []fo.Var{"x", "y"}[:arity]
+		qg := &queryGen{rng: rng, vars: vars, colors: 2}
+		phi := qg.formula(2 + rng.Intn(2))
+
+		q, err := Compile(phi, vars, CompileOptions{})
+		if err != nil {
+			// Outside the fragment (e.g. an unanchored pattern slipped
+			// through): rejection is the documented behaviour, not a bug.
+			continue
+		}
+		class := classes[rng.Intn(len(classes))]
+		n := 40 + rng.Intn(40)
+		g := gen.Generate(class, n, gen.Options{Seed: int64(trial), Colors: 2, ColorProb: 0.35})
+		e, err := Preprocess(g, q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%s): preprocess: %v", trial, phi, err)
+		}
+		got := materializeEngine(e)
+		want := naiveSolutions(g, phi, vars)
+		if i, ok := tuplesEqual(got, want); !ok {
+			t.Fatalf("trial %d: query %s on %s (n=%d): engine %d vs naive %d tuples (diff near %v vs %v)",
+				trial, phi, class, g.N(), len(got), len(want), safeIndex(got, i), safeIndex(want, i))
+		}
+		// Also probe Test and NextGeq on random tuples.
+		for probe := 0; probe < 20; probe++ {
+			a := make([]int, arity)
+			for i := range a {
+				a[i] = rng.Intn(g.N())
+			}
+			ev := fo.NewEvaluator(g)
+			if got, want := e.Test(a), ev.EvalTuple(phi, vars, a); got != want {
+				t.Fatalf("trial %d: Test(%v) = %v, want %v for %s", trial, a, got, want, phi)
+			}
+		}
+	}
+}
+
+// TestFuzzArity3 runs a smaller arity-3 fuzz (naive evaluation is n³).
+func TestFuzzArity3(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		vars := []fo.Var{"x", "y", "z"}
+		qg := &queryGen{rng: rng, vars: vars, colors: 2}
+		phi := qg.formula(2)
+		q, err := Compile(phi, vars, CompileOptions{})
+		if err != nil {
+			continue
+		}
+		g := gen.Generate(gen.RandomTree, 18+rng.Intn(10), gen.Options{Seed: int64(trial), Colors: 2, ColorProb: 0.4})
+		e, err := Preprocess(g, q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, phi, err)
+		}
+		got := materializeEngine(e)
+		want := naiveSolutions(g, phi, vars)
+		if i, ok := tuplesEqual(got, want); !ok {
+			t.Fatalf("trial %d: query %s: engine %d vs naive %d (diff near %v vs %v)",
+				trial, phi, len(got), len(want), safeIndex(got, i), safeIndex(want, i))
+		}
+	}
+}

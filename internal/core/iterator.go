@@ -1,0 +1,84 @@
+package core
+
+import "repro/internal/graph"
+
+// Iterator is the pull-style face of Corollary 2.5: a cursor over the
+// solution set in lexicographic order with constant-delay Next calls.
+//
+// Internally it keeps one cursor per clause (τ, i) and advances them as a
+// k-way merge: each Next pops the minimal per-clause candidate and only
+// re-advances the clauses that produced it, so a query compiled into many
+// disjuncts does not pay for all of them on every step (NextGeq, by
+// contrast, is a one-shot primitive and probes every clause).
+//
+// An Iterator borrows the Engine and must not be used concurrently with
+// other Engine calls.
+type Iterator struct {
+	e       *Engine
+	nexts   [][]graph.V // per clause: next candidate ≥ cursor, nil = drained
+	current []graph.V   // overall next solution, nil when exhausted
+}
+
+// Iterator returns a cursor positioned at the first solution.
+func (e *Engine) Iterator() *Iterator {
+	it := &Iterator{e: e}
+	it.Seek(make([]graph.V, e.k))
+	return it
+}
+
+// IteratorFrom returns a cursor positioned at the smallest solution ≥ a.
+func (e *Engine) IteratorFrom(a []graph.V) *Iterator {
+	it := &Iterator{e: e}
+	it.Seek(a)
+	return it
+}
+
+// Seek repositions the cursor at the smallest solution ≥ a (Theorem 2.3:
+// constant time per clause).
+func (it *Iterator) Seek(a []graph.V) {
+	it.nexts = make([][]graph.V, len(it.e.clauses))
+	it.current = nil
+	if it.e.g.N() == 0 {
+		return
+	}
+	for i, rt := range it.e.clauses {
+		it.nexts[i] = it.e.nextClause(rt, a)
+	}
+	it.settle()
+}
+
+// settle recomputes the overall minimum of the per-clause candidates.
+func (it *Iterator) settle() {
+	it.current = nil
+	for _, cand := range it.nexts {
+		if cand != nil && (it.current == nil || lexLess(cand, it.current)) {
+			it.current = cand
+		}
+	}
+}
+
+// HasNext reports whether another solution is available.
+func (it *Iterator) HasNext() bool { return it.current != nil }
+
+// Next returns the current solution and advances the cursor. The returned
+// slice is owned by the caller. ok=false signals exhaustion.
+func (it *Iterator) Next() ([]graph.V, bool) {
+	if it.current == nil {
+		return nil, false
+	}
+	out := it.current
+	succ, ok := incrementTuple(out, it.e.g.N())
+	if !ok {
+		it.current = nil
+		return out, true
+	}
+	// Advance exactly the clauses whose candidate was consumed (several
+	// clauses may share a solution tuple).
+	for i, cand := range it.nexts {
+		if cand != nil && !lexLess(out, cand) { // cand ≤ out, i.e. cand == out
+			it.nexts[i] = it.e.nextClause(it.e.clauses[i], succ)
+		}
+	}
+	it.settle()
+	return out, true
+}

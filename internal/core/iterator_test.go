@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestIteratorMatchesEnumerate(t *testing.T) {
+	q := buildQ2(t)
+	g := gen.Generate(gen.Grid, 144, gen.Options{Seed: 4, Colors: 1, ColorProb: 0.3})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materializeEngine(e)
+	it := e.Iterator()
+	var got [][]graph.V
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if _, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("iterator produced %d tuples, enumerate %d", len(got), len(want))
+	}
+	if it.HasNext() {
+		t.Fatal("exhausted iterator claims more")
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("exhausted iterator yielded")
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	q := buildQ2(t)
+	g := gen.Generate(gen.Caterpillar, 120, gen.Options{Seed: 5, Colors: 1, ColorProb: 0.3})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := materializeEngine(e)
+	if len(all) < 10 {
+		t.Skip("too few solutions for a seek test")
+	}
+	mid := all[len(all)/2]
+	it := e.IteratorFrom(mid)
+	s, ok := it.Next()
+	if !ok || s[0] != mid[0] || s[1] != mid[1] {
+		t.Fatalf("IteratorFrom(%v) first = %v,%v", mid, s, ok)
+	}
+	// Seek backwards works too.
+	it.Seek(all[2])
+	s, ok = it.Next()
+	if !ok || s[0] != all[2][0] || s[1] != all[2][1] {
+		t.Fatalf("Seek(%v) -> %v,%v", all[2], s, ok)
+	}
+}
+
+// TestIteratorMultiClauseMerge drives the k-way merge across a query that
+// compiles into several clauses with overlapping solutions.
+func TestIteratorMultiClauseMerge(t *testing.T) {
+	phi := fo.MustParse("dist(x,y) <= 1 & C1(x) | dist(x,y) > 2 & C0(x) | dist(x,y) > 2 & C1(y)")
+	q, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.KingGrid, 100, gen.Options{Seed: 7, Colors: 2, ColorProb: 0.3})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := materializeEngine(e)
+	it := e.Iterator()
+	var got [][]graph.V
+	for {
+		s, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if i, ok := tuplesEqual(got, want); !ok {
+		t.Fatalf("merge mismatch near %d: %d vs %d tuples (%v vs %v)",
+			i, len(got), len(want), safeIndex(got, i), safeIndex(want, i))
+	}
+	// No duplicates even when clauses share tuples.
+	for i := 1; i < len(got); i++ {
+		if !lexLess(got[i-1], got[i]) {
+			t.Fatalf("duplicate or disorder at %d: %v, %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestIteratorEmptyResult(t *testing.T) {
+	q := buildQ2(t)
+	g := gen.Generate(gen.Grid, 36, gen.Options{}) // uncolored: no solutions
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := e.Iterator()
+	if it.HasNext() {
+		t.Fatal("empty result has next")
+	}
+}
+
+// TestIteratorProperties: Next(a) ≥ a, Test(Next(a)) holds, and NextGeq is
+// idempotent on its own output.
+func TestIteratorProperties(t *testing.T) {
+	q := buildQ2(t)
+	g := gen.Generate(gen.RandomTree, 200, gen.Options{Seed: 6, Colors: 1, ColorProb: 0.2})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		a := []graph.V{(trial * 13) % g.N(), (trial * 29) % g.N()}
+		s, ok := e.NextGeq(a)
+		if !ok {
+			continue
+		}
+		if lexLess(s, a) {
+			t.Fatalf("NextGeq(%v) = %v < input", a, s)
+		}
+		if !e.Test(s) {
+			t.Fatalf("NextGeq(%v) = %v is not a solution", a, s)
+		}
+		again, ok2 := e.NextGeq(s)
+		if !ok2 || again[0] != s[0] || again[1] != s[1] {
+			t.Fatalf("NextGeq not idempotent at %v: %v,%v", s, again, ok2)
+		}
+	}
+}

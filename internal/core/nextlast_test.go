@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestNextLastMatchesMaterialized checks Lemma 5.2 against the
+// materialized answer set: for random prefixes and thresholds, NextLast
+// returns exactly the first completion ≥ b.
+func TestNextLastMatchesMaterialized(t *testing.T) {
+	for _, src := range []string{
+		"dist(x,y) > 2 & C0(y)",
+		"dist(x,y) <= 2 & C0(x) & C1(y)",
+		"dist(x,y) <= 1 & C1(x) | dist(x,y) > 2 & C0(y)",
+	} {
+		q, err := Compile(fo.MustParse(src), []fo.Var{"x", "y"}, CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := gen.Generate(gen.KingGrid, 120, gen.Options{Seed: 3, Colors: 2, ColorProb: 0.3})
+		e, err := Preprocess(g, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sols := materializeEngine(e)
+		// Index solutions by prefix for the oracle.
+		byPrefix := map[graph.V][]graph.V{}
+		for _, s := range sols {
+			byPrefix[s[0]] = append(byPrefix[s[0]], s[1])
+		}
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 800; trial++ {
+			a := rng.Intn(g.N())
+			b := rng.Intn(g.N())
+			want, has := graph.V(-1), false
+			for _, y := range byPrefix[a] { // sorted by construction
+				if y >= b {
+					want, has = y, true
+					break
+				}
+			}
+			got, ok := e.NextLast([]graph.V{a}, b)
+			if ok != has || (ok && got != want) {
+				t.Fatalf("%s: NextLast(%d, %d) = %d,%v want %d,%v",
+					src, a, b, got, ok, want, has)
+			}
+		}
+	}
+}
+
+// TestNextLastArity3 exercises the prefix checks (internal pattern and
+// completed components) with a 2-element prefix.
+func TestNextLastArity3(t *testing.T) {
+	src := "dist(x,z) > 2 & dist(y,z) > 2 & C0(z)"
+	q, err := Compile(fo.MustParse(src), []fo.Var{"x", "y", "z"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Grid, 36, gen.Options{Seed: 9, Colors: 1, ColorProb: 0.4})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sols := materializeEngine(e)
+	type pfx struct{ x, y graph.V }
+	byPrefix := map[pfx][]graph.V{}
+	for _, s := range sols {
+		byPrefix[pfx{s[0], s[1]}] = append(byPrefix[pfx{s[0], s[1]}], s[2])
+	}
+	for x := 0; x < g.N(); x += 5 {
+		for y := 0; y < g.N(); y += 7 {
+			for b := 0; b < g.N(); b += 11 {
+				want, has := graph.V(-1), false
+				for _, z := range byPrefix[pfx{x, y}] {
+					if z >= b {
+						want, has = z, true
+						break
+					}
+				}
+				got, ok := e.NextLast([]graph.V{x, y}, b)
+				if ok != has || (ok && got != want) {
+					t.Fatalf("NextLast(%d,%d; %d) = %d,%v want %d,%v", x, y, b, got, ok, want, has)
+				}
+			}
+		}
+	}
+}

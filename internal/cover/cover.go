@@ -1,0 +1,366 @@
+// Package cover implements (r,s)-neighborhood covers (Definition 4.3 and
+// Theorem 4.4 of the paper) and bag kernels (Definition 5.6, Lemma 5.7).
+//
+// A cover is a collection of bags X ⊆ V such that every r-ball N_r(a) is
+// contained in some bag, and every bag is contained in some s-ball
+// N_s(c_X). We compute (r,2r)-covers greedily: scanning vertices in order,
+// each still-uncovered vertex a contributes the bag N_{2r}(a) and covers
+// every vertex of N_r(a). For every vertex b covered by center a we then
+// have N_r(b) ⊆ N_{2r}(a), so the result is a valid (r,2r)-cover; its
+// degree is measured rather than proven (Theorem 4.4's constructive bound
+// relies on non-constructive class parameters — see DESIGN.md §3).
+//
+// Bag and kernel membership (including ordered successor queries inside a
+// bag) are served by Storing-Theorem structures keyed by (bag, vertex), as
+// in the paper's use of Theorem 3.1 after Theorem 4.4.
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Cover is an (R, 2R)-neighborhood cover of a colored graph.
+type Cover struct {
+	g *graph.Graph
+	// R is the cover radius r; S = 2R bounds the bag radius.
+	R, S int
+
+	bags     [][]graph.V // sorted vertex lists
+	centers  []graph.V   // c_X with X ⊆ N_S(c_X)
+	assign   []int32     // 𝒳(a): index of the canonical bag covering N_R(a)
+	memberOf [][]int32   // sorted bag indices containing each vertex
+
+	members *store.Store // (bag, vertex) ↦ 1, the paper's f_𝒳
+
+	kernelP     int          // radius of the computed kernels (-1 = none)
+	kernels     [][]graph.V  // p-kernel per bag, sorted
+	kernelStore *store.Store // (bag, vertex) ↦ 1 for kernel membership
+	kernelOf    [][]int32    // sorted bag indices whose kernel contains v
+}
+
+// Epsilon is the trie parameter handed to the Storing-Theorem structures.
+const Epsilon = 0.25
+
+// Compute builds an (r, 2r)-neighborhood cover of g.
+func Compute(g *graph.Graph, r int) *Cover {
+	if r < 1 {
+		panic(fmt.Sprintf("cover: radius %d < 1", r))
+	}
+	c := &Cover{g: g, R: r, S: 2 * r, kernelP: -1}
+	c.assign = make([]int32, g.N())
+	for i := range c.assign {
+		c.assign[i] = -1
+	}
+	bfs := graph.NewBFS(g)
+	inBall := make([]int32, g.N())
+	depth := make([]int32, g.N())
+	for i := range inBall {
+		inBall[i] = -1
+	}
+	var boundary []graph.V
+	for a := 0; a < g.N(); a++ {
+		if c.assign[a] >= 0 {
+			continue
+		}
+		bag := int32(len(c.bags))
+		ball := bfs.Ball(a, c.S)
+		vs := make([]graph.V, len(ball))
+		for i, v := range ball {
+			vs[i] = int(v)
+			inBall[v] = bag
+		}
+		// Assign to this bag every still-unassigned vertex whose whole
+		// r-ball lies inside the bag (the bag's r-kernel) — this includes
+		// N_r(a) and makes the greedy cover produce few bags even when
+		// balls saturate the graph. Kernel membership via the boundary
+		// BFS of Lemma 5.7.
+		boundary = boundary[:0]
+		for _, v := range vs {
+			for _, w := range g.Neighbors(v) {
+				if inBall[w] != bag {
+					boundary = append(boundary, v)
+					depth[v] = 1
+					break
+				}
+			}
+		}
+		excluded := int32(-2 - bag) // distinct marker per bag
+		for _, v := range boundary {
+			inBall[v] = excluded
+		}
+		for head := 0; head < len(boundary); head++ {
+			v := boundary[head]
+			if int(depth[v]) >= r {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if inBall[w] == bag {
+					inBall[w] = excluded
+					depth[w] = depth[v] + 1
+					boundary = append(boundary, int(w))
+				}
+			}
+		}
+		for _, v := range vs {
+			if inBall[v] == bag && c.assign[v] < 0 {
+				c.assign[v] = bag
+			}
+		}
+		if c.assign[a] < 0 {
+			// Degenerate: a sits within r of the bag boundary (possible
+			// when the ball is shallow); it is still covered by its own
+			// N_r ⊆ N_S(a) = the bag, by construction of S ≥ 2r... which
+			// the kernel test may reject only if N_r(a) ⊄ N_S(a), never.
+			// Keep the direct assignment as a safety net.
+			c.assign[a] = bag
+		}
+		sort.Ints(vs)
+		c.bags = append(c.bags, vs)
+		c.centers = append(c.centers, a)
+	}
+	c.buildMembership()
+	return c
+}
+
+func (c *Cover) buildMembership() {
+	c.memberOf = make([][]int32, c.g.N())
+	for i, bag := range c.bags {
+		for _, v := range bag {
+			c.memberOf[v] = append(c.memberOf[v], int32(i))
+		}
+	}
+	// Bags are created in increasing center order and each bag list is
+	// appended once, so memberOf lists are already sorted. The
+	// Storing-Theorem structure behind Contains/NextInBag is built lazily
+	// on first use (many consumers only need Assign/Bag/kernels).
+}
+
+func (c *Cover) memberStore() *store.Store {
+	if c.members != nil {
+		return c.members
+	}
+	u := c.g.N()
+	if len(c.bags) > u {
+		u = len(c.bags)
+	}
+	if u < 2 {
+		u = 2
+	}
+	c.members = store.New(u, 2, Epsilon)
+	for i, bag := range c.bags {
+		for _, v := range bag {
+			c.members.Set([]int{i, v}, 1)
+		}
+	}
+	return c.members
+}
+
+// NumBags returns |𝒳|.
+func (c *Cover) NumBags() int { return len(c.bags) }
+
+// Bag returns the sorted vertex list of bag i (shared; do not modify).
+func (c *Cover) Bag(i int) []graph.V { return c.bags[i] }
+
+// Center returns c_X for bag i, a vertex with X ⊆ N_{2R}(c_X).
+func (c *Cover) Center(i int) graph.V { return c.centers[i] }
+
+// Assign returns 𝒳(a), the index of the canonical bag containing N_R(a).
+func (c *Cover) Assign(a graph.V) int { return int(c.assign[a]) }
+
+// BagsOf returns the sorted indices of all bags containing v.
+func (c *Cover) BagsOf(v graph.V) []int32 { return c.memberOf[v] }
+
+// Degree returns δ(𝒳) = max_a |{X : a ∈ X}|.
+func (c *Cover) Degree() int {
+	d := 0
+	for _, bs := range c.memberOf {
+		if len(bs) > d {
+			d = len(bs)
+		}
+	}
+	return d
+}
+
+// SumBagSizes returns Σ_X |X| (≤ δ(𝒳)·|V|).
+func (c *Cover) SumBagSizes() int {
+	s := 0
+	for _, bag := range c.bags {
+		s += len(bag)
+	}
+	return s
+}
+
+// Contains reports whether vertex v belongs to bag i, via the
+// Storing-Theorem structure (constant time).
+func (c *Cover) Contains(i int, v graph.V) bool {
+	_, ok := c.memberStore().Get([]int{i, v})
+	return ok
+}
+
+// NextInBag returns the smallest member b′ ≥ b of bag i, using the
+// successor lookup of the Storing Theorem.
+func (c *Cover) NextInBag(i int, b graph.V) (graph.V, bool) {
+	key, _, ok := c.memberStore().NextGeq([]int{i, b})
+	if !ok || key[0] != i {
+		return 0, false
+	}
+	return key[1], true
+}
+
+// ComputeKernels computes the p-kernels K_p(X) = {a ∈ X : N_p(a) ⊆ X} of
+// every bag (Lemma 5.7: a multi-source BFS from the bag boundary inside
+// G[X]) and indexes them for constant-time membership and successor
+// queries. p must be ≤ R.
+func (c *Cover) ComputeKernels(p int) {
+	if p < 0 || p > c.R {
+		panic(fmt.Sprintf("cover: kernel radius %d outside [0, %d]", p, c.R))
+	}
+	c.kernelP = p
+	c.kernels = make([][]graph.V, len(c.bags))
+	c.kernelOf = make([][]int32, c.g.N())
+
+	inBag := make([]int32, c.g.N()) // epoch marking: bag id, ~bag id = excluded
+	depth := make([]int32, c.g.N())
+	for i := range inBag {
+		inBag[i] = -1
+	}
+	var queue []graph.V
+	for i, bag := range c.bags {
+		epoch := int32(i)
+		excl := -epoch - 2 // distinct marker per bag, never the -1 init value
+		for _, v := range bag {
+			inBag[v] = epoch
+		}
+		// Boundary: bag vertices with a neighbor outside the bag; they are
+		// at distance 1 from the complement.
+		queue = queue[:0]
+		for _, v := range bag {
+			for _, w := range c.g.Neighbors(v) {
+				if inBag[w] != epoch && inBag[w] != excl {
+					queue = append(queue, v)
+					depth[v] = 1
+					break
+				}
+			}
+		}
+		for _, v := range queue {
+			inBag[v] = excl
+		}
+		// BFS inside G[X]: a vertex at depth t has distance t to the
+		// complement; the kernel is {distance > p}.
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			if int(depth[v]) >= p {
+				continue
+			}
+			for _, w := range c.g.Neighbors(v) {
+				if inBag[w] == epoch {
+					inBag[w] = excl
+					depth[w] = depth[v] + 1
+					queue = append(queue, int(w))
+				}
+			}
+		}
+		var kern []graph.V
+		for _, v := range bag {
+			if inBag[v] == epoch {
+				kern = append(kern, v)
+			}
+		}
+		c.kernels[i] = kern // bag is sorted, so kern is sorted
+		for _, v := range kern {
+			c.kernelOf[v] = append(c.kernelOf[v], int32(i))
+		}
+	}
+}
+
+// KernelP returns the kernel radius handed to ComputeKernels, or -1.
+func (c *Cover) KernelP() int { return c.kernelP }
+
+// Kernel returns the sorted p-kernel of bag i.
+func (c *Cover) Kernel(i int) []graph.V { return c.kernels[i] }
+
+// InKernel reports whether v ∈ K_p(X_i), in constant time (binary search
+// over the ≤ δ(𝒳) kernel ids of v; the equivalent Storing-Theorem lookup
+// backs KernelContains and is exercised by the tests).
+func (c *Cover) InKernel(i int, v graph.V) bool {
+	if c.kernelOf == nil {
+		panic("cover: ComputeKernels has not been called")
+	}
+	ks := c.kernelOf[v]
+	j := sort.Search(len(ks), func(j int) bool { return ks[j] >= int32(i) })
+	return j < len(ks) && ks[j] == int32(i)
+}
+
+// KernelContains is InKernel served by the Storing-Theorem structure
+// (built lazily), kept as the paper-faithful access path.
+func (c *Cover) KernelContains(i int, v graph.V) bool {
+	if c.kernelOf == nil {
+		panic("cover: ComputeKernels has not been called")
+	}
+	if c.kernelStore == nil {
+		u := c.g.N()
+		if len(c.bags) > u {
+			u = len(c.bags)
+		}
+		if u < 2 {
+			u = 2
+		}
+		c.kernelStore = store.New(u, 2, Epsilon)
+		for i, kern := range c.kernels {
+			for _, v := range kern {
+				c.kernelStore.Set([]int{i, v}, 1)
+			}
+		}
+	}
+	_, ok := c.kernelStore.Get([]int{i, v})
+	return ok
+}
+
+// KernelsOf returns the sorted indices of bags whose kernel contains v.
+func (c *Cover) KernelsOf(v graph.V) []int32 {
+	if c.kernelOf == nil {
+		panic("cover: ComputeKernels has not been called")
+	}
+	return c.kernelOf[v]
+}
+
+// Validate checks the cover axioms by brute force (test helper): every
+// r-ball is inside the assigned bag, and every bag is inside the 2r-ball of
+// its center. It returns the first violated condition.
+func (c *Cover) Validate() error {
+	bfs := graph.NewBFS(c.g)
+	for a := 0; a < c.g.N(); a++ {
+		x := c.Assign(a)
+		if x < 0 || x >= len(c.bags) {
+			return fmt.Errorf("vertex %d has no assigned bag", a)
+		}
+		for _, v := range bfs.Ball(a, c.R) {
+			if !containsSorted(c.bags[x], int(v)) {
+				return fmt.Errorf("N_%d(%d) ⊄ bag %d: vertex %d missing", c.R, a, x, v)
+			}
+		}
+	}
+	for i, bag := range c.bags {
+		ball := bfs.Ball(c.centers[i], c.S)
+		inBall := map[graph.V]bool{}
+		for _, v := range ball {
+			inBall[int(v)] = true
+		}
+		for _, v := range bag {
+			if !inBall[v] {
+				return fmt.Errorf("bag %d ⊄ N_%d(center %d)", i, c.S, c.centers[i])
+			}
+		}
+	}
+	return nil
+}
+
+func containsSorted(xs []int, v int) bool {
+	i := sort.SearchInts(xs, v)
+	return i < len(xs) && xs[i] == v
+}

@@ -1,0 +1,319 @@
+// Package dist implements Proposition 4.2 of the paper: after a
+// pseudo-linear preprocessing of a colored graph G and a radius r, queries
+// dist(a, b) ≤ r′ (for any r′ ≤ r) are answered in constant time.
+//
+// The construction follows Section 4.2. An (r, 2r)-neighborhood cover 𝒳 is
+// computed; testing reduces to the bag 𝒳(a) (if b ∉ 𝒳(a) the answer is
+// "no"). Within a bag X the splitter vertex s_X (Splitter's answer when
+// Connector plays the bag center c_X) is removed; distances to s_X (the
+// sets R_i of Step 4) are precomputed by BFS, and distances avoiding s_X
+// are answered by a recursively built index on X′ = G[X \ {s_X}], whose
+// splitter-game depth is one smaller. The recursion bottoms out at edgeless
+// or small arenas, where truncated distance matrices are stored directly.
+//
+// If the plugged-in Splitter strategy fails to shrink an arena within
+// MaxDepth levels (which does not happen on nowhere dense inputs), the
+// index falls back to on-demand truncated BFS; correctness is preserved
+// and the event is counted in Stats.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/splitter"
+)
+
+// Options tunes index construction.
+type Options struct {
+	// Strategy is Splitter's strategy (default BallCenter).
+	Strategy splitter.Strategy
+	// SmallThreshold is the arena size at which recursion stops and a
+	// truncated distance table is stored (default 8·(2r+1), at least 256).
+	SmallThreshold int
+	// MaxDepth bounds the splitter recursion (default 24).
+	MaxDepth int
+	// DisableBallTable turns off the bounded-ball fast path, forcing the
+	// splitter-game recursion even on arenas whose ball lists are linear.
+	// Used by tests and the ablation benchmarks.
+	DisableBallTable bool
+	// WorkBudget bounds the total vertices+edges processed across all
+	// recursion levels (default 256·‖G‖ + 2^20). When the budget is
+	// exhausted — which happens only when the input is not nowhere dense
+	// at the requested radius, so the splitter recursion stops shrinking
+	// arenas — remaining arenas fall back to on-demand BFS. Correctness is
+	// unaffected; Stats.Fallbacks counts the occurrences.
+	WorkBudget int
+}
+
+func (o Options) withDefaults(r int, g *graph.Graph) Options {
+	if o.Strategy == nil {
+		o.Strategy = splitter.BallCenter{}
+	}
+	if o.SmallThreshold == 0 {
+		o.SmallThreshold = 8 * (2*r + 1)
+		if o.SmallThreshold < 256 {
+			o.SmallThreshold = 256
+		}
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 24
+	}
+	if o.WorkBudget == 0 {
+		o.WorkBudget = 256*g.Size() + 1<<20
+	}
+	return o
+}
+
+// Stats reports structural facts about a built index.
+type Stats struct {
+	Bags        int // total bags over all recursion levels
+	MaxDepth    int // deepest recursion level used
+	SmallLeaves int // arenas solved by truncated distance tables
+	Fallbacks   int // arenas that exhausted MaxDepth or the work budget
+	TableCells  int // total entries of all truncated distance tables
+	Work        int // vertices+edges processed across all levels
+}
+
+// Index answers dist(a,b) ≤ r′ queries for all r′ ≤ R in constant time.
+type Index struct {
+	g *graph.Graph
+	R int
+
+	// Exactly one of the following four layouts is active.
+	edgeless bool         // λ=1 base case: dist(a,b) ≤ rr iff a = b
+	small    *smallTable  // truncated distance table
+	fallback *graph.BFS   // MaxDepth exhausted: on-demand BFS
+	cov      *cover.Cover // recursive layout
+	bags     []*bagIndex
+
+	stats *Stats
+}
+
+type bagIndex struct {
+	sub   *graph.Sub // G[X] with local numbering
+	sX    int        // splitter vertex, local to sub
+	distS []int32    // dist_{G[X]}(v, s_X) truncated at R+1, local to sub
+	prime *graph.Sub // X′ = sub minus sX, local to sub
+	inner *Index     // recursive index on prime.G
+}
+
+// smallTable stores, per vertex of a small arena, the sorted list of
+// (vertex, distance) pairs of its r-ball — CSR layout, so the space is the
+// sum of ball sizes rather than n².
+type smallTable struct {
+	off  []int32
+	ball []int32 // neighbor ids, sorted per source
+	d    []int8  // distances, aligned with ball
+}
+
+func newSmallTable(g *graph.Graph, r int) *smallTable {
+	t, _ := newSmallTableCapped(g, r, 1<<62)
+	return t
+}
+
+// newSmallTableCapped builds the ball-list table but aborts (returning
+// ok=false) once more than cap cells would be stored. The abort costs at
+// most O(cap) work, so optimistically attempting a table is safe.
+func newSmallTableCapped(g *graph.Graph, r, maxCells int) (*smallTable, bool) {
+	t := &smallTable{off: make([]int32, g.N()+1)}
+	bfs := graph.NewBFS(g)
+	type pair struct {
+		v int32
+		d int8
+	}
+	var scratch []pair
+	for v := 0; v < g.N(); v++ {
+		scratch = scratch[:0]
+		for _, w := range bfs.Ball(v, r) {
+			scratch = append(scratch, pair{w, int8(bfs.Dist(int(w)))})
+		}
+		if len(t.ball)+len(scratch) > maxCells {
+			return nil, false
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].v < scratch[j].v })
+		for _, p := range scratch {
+			t.ball = append(t.ball, p.v)
+			t.d = append(t.d, p.d)
+		}
+		t.off[v+1] = int32(len(t.ball))
+	}
+	return t, true
+}
+
+func (t *smallTable) cells() int { return len(t.ball) }
+
+func (t *smallTable) within(a, b graph.V, rr int) bool {
+	lo, hi := t.off[a], t.off[a+1]
+	seg := t.ball[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] >= int32(b) })
+	return i < len(seg) && seg[i] == int32(b) && int(t.d[lo+int32(i)]) <= rr
+}
+
+// New builds the distance index for radius r.
+func New(g *graph.Graph, r int, opt Options) *Index {
+	if r < 1 {
+		panic(fmt.Sprintf("dist: radius %d < 1", r))
+	}
+	opt = opt.withDefaults(r, g)
+	stats := &Stats{}
+	ix := build(g, r, opt, 0, stats)
+	ix.stats = stats
+	return ix
+}
+
+func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats) *Index {
+	if depth > stats.MaxDepth {
+		stats.MaxDepth = depth
+	}
+	ix := &Index{g: g, R: r, stats: stats}
+	if graph.IsEdgeless(g) {
+		ix.edgeless = true
+		stats.SmallLeaves++
+		return ix
+	}
+	stats.Work += g.Size()
+	if depth >= opt.MaxDepth || stats.Work > opt.WorkBudget {
+		ix.fallback = graph.NewBFS(g)
+		stats.Fallbacks++
+		return ix
+	}
+	if g.N() <= opt.SmallThreshold {
+		ix.small = newSmallTable(g, r)
+		stats.SmallLeaves++
+		stats.TableCells += ix.small.cells()
+		stats.Work += ix.small.cells()
+		return ix
+	}
+	// Bounded-ball fast path: when Σ_v |N_r(v)| is linear in ‖G‖ (bounded
+	// degree, grids, …), a single ball-list table is the whole index. The
+	// attempt aborts after O(‖G‖) wasted work on hub-dominated graphs,
+	// which then proceed through the splitter recursion.
+	if !opt.DisableBallTable {
+		if tbl, ok := newSmallTableCapped(g, r, 24*g.Size()); ok {
+			ix.small = tbl
+			stats.SmallLeaves++
+			stats.TableCells += tbl.cells()
+			stats.Work += tbl.cells()
+			return ix
+		}
+		stats.Work += 24 * g.Size() // cost of the aborted attempt
+	}
+	ix.cov = cover.Compute(g, r)
+	stats.Work += ix.cov.SumBagSizes()
+	if stats.Work > opt.WorkBudget {
+		// The cover is too heavy (overlapping near-whole-graph bags): the
+		// recursion cannot make progress within budget. Truncated BFS per
+		// query costs O(‖N_r(a)‖), which on such arenas is of the same
+		// order as the table chain would have been.
+		ix.cov = nil
+		ix.fallback = graph.NewBFS(g)
+		stats.Fallbacks++
+		return ix
+	}
+	stats.Bags += ix.cov.NumBags()
+	ix.bags = make([]*bagIndex, ix.cov.NumBags())
+	for i := 0; i < ix.cov.NumBags(); i++ {
+		if stats.Work > opt.WorkBudget {
+			// Budget exhausted mid-way: abandon the partial bag layout and
+			// serve this arena by truncated BFS instead.
+			ix.cov = nil
+			ix.bags = nil
+			ix.fallback = graph.NewBFS(g)
+			stats.Fallbacks++
+			return ix
+		}
+		ix.bags[i] = buildBag(g, ix.cov, i, r, opt, depth, stats)
+	}
+	return ix
+}
+
+func buildBag(g *graph.Graph, cov *cover.Cover, i, r int, opt Options, depth int, stats *Stats) *bagIndex {
+	sub := graph.Induce(g, cov.Bag(i))
+	stats.Work += sub.G.Size()
+	// Splitter's answer when Connector plays the bag center in the
+	// (λ, 2r)-game on G — evaluated inside the bag, which contains
+	// N_{2r}(c_X) ∩ X; the strategy only needs a vertex of the ball.
+	cLocal := sub.Local(cov.Center(i))
+	sLocal := opt.Strategy.Answer(sub.G, cLocal, 2*r)
+	b := &bagIndex{sub: sub, sX: sLocal}
+
+	// Step 4: distances to s_X inside G[X], truncated at r.
+	b.distS = make([]int32, sub.G.N())
+	for v := range b.distS {
+		b.distS[v] = int32(r) + 1
+	}
+	bfs := graph.NewBFS(sub.G)
+	for _, w := range bfs.Ball(sLocal, r) {
+		b.distS[w] = int32(bfs.Dist(int(w)))
+	}
+
+	// Step 5: recursive index on X′ = G[X \ {s_X}].
+	rest := make([]graph.V, 0, sub.G.N()-1)
+	for v := 0; v < sub.G.N(); v++ {
+		if v != sLocal {
+			rest = append(rest, v)
+		}
+	}
+	b.prime = graph.Induce(sub.G, rest)
+	b.inner = build(b.prime.G, r, opt, depth+1, stats)
+	return b
+}
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() Stats { return *ix.stats }
+
+// Radius returns the maximum supported radius R.
+func (ix *Index) Radius() int { return ix.R }
+
+// Within reports whether dist_G(a, b) ≤ rr, for any rr ≤ R. It implements
+// fo.DistTester.
+func (ix *Index) Within(a, b graph.V, rr int) bool {
+	if rr > ix.R {
+		panic(fmt.Sprintf("dist: query radius %d exceeds index radius %d", rr, ix.R))
+	}
+	if rr < 0 {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	switch {
+	case ix.edgeless:
+		return false // a ≠ b and there are no edges
+	case ix.small != nil:
+		return ix.small.within(a, b, rr)
+	case ix.fallback != nil:
+		return ix.fallback.Distance(a, b, rr) >= 0
+	}
+	x := ix.cov.Assign(a)
+	bag := ix.bags[x]
+	la, lb := bag.sub.Local(a), bag.sub.Local(b)
+	if lb < 0 {
+		// b ∉ 𝒳(a) ⊇ N_R(a) ⊇ N_rr(a), hence dist(a,b) > rr.
+		return false
+	}
+	return bag.within(la, lb, rr)
+}
+
+// within answers inside G[X] with local coordinates (Section 4.2.2's case
+// analysis).
+func (b *bagIndex) within(a, bb graph.V, rr int) bool {
+	switch {
+	case a == b.sX && bb == b.sX:
+		return true
+	case a == b.sX:
+		return int(b.distS[bb]) <= rr
+	case bb == b.sX:
+		return int(b.distS[a]) <= rr
+	}
+	// Path through s_X …
+	if int(b.distS[a])+int(b.distS[bb]) <= rr {
+		return true
+	}
+	// … or path avoiding s_X, answered by the recursive index on X′.
+	pa, pb := b.prime.Local(a), b.prime.Local(bb)
+	return b.inner.Within(pa, pb, rr)
+}

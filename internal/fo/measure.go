@@ -1,0 +1,260 @@
+package fo
+
+import "sort"
+
+// FreeVars returns the free variables of f, sorted lexicographically.
+func FreeVars(f Formula) []Var {
+	set := map[Var]bool{}
+	collectFree(f, map[Var]bool{}, set)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectFree(f Formula, bound, free map[Var]bool) {
+	switch f := f.(type) {
+	case Truth:
+	case Edge:
+		addFree(f.X, bound, free)
+		addFree(f.Y, bound, free)
+	case HasColor:
+		addFree(f.X, bound, free)
+	case Eq:
+		addFree(f.X, bound, free)
+		addFree(f.Y, bound, free)
+	case DistLeq:
+		addFree(f.X, bound, free)
+		addFree(f.Y, bound, free)
+	case Rel:
+		for _, a := range f.Args {
+			addFree(a, bound, free)
+		}
+	case Not:
+		collectFree(f.F, bound, free)
+	case And:
+		for _, g := range f.Fs {
+			collectFree(g, bound, free)
+		}
+	case Or:
+		for _, g := range f.Fs {
+			collectFree(g, bound, free)
+		}
+	case Exists:
+		collectQuantified(f.V, f.F, bound, free)
+	case Forall:
+		collectQuantified(f.V, f.F, bound, free)
+	}
+}
+
+func collectQuantified(v Var, body Formula, bound, free map[Var]bool) {
+	was := bound[v]
+	bound[v] = true
+	collectFree(body, bound, free)
+	bound[v] = was
+}
+
+func addFree(v Var, bound, free map[Var]bool) {
+	if !bound[v] {
+		free[v] = true
+	}
+}
+
+// Size returns the number of AST nodes of f, the |q| of the paper (up to a
+// constant factor on the textual symbol count).
+func Size(f Formula) int {
+	switch f := f.(type) {
+	case Not:
+		return 1 + Size(f.F)
+	case And:
+		s := 1
+		for _, g := range f.Fs {
+			s += Size(g)
+		}
+		return s
+	case Or:
+		s := 1
+		for _, g := range f.Fs {
+			s += Size(g)
+		}
+		return s
+	case Exists:
+		return 1 + Size(f.F)
+	case Forall:
+		return 1 + Size(f.F)
+	default:
+		return 1
+	}
+}
+
+// QuantifierRank returns the maximal nesting depth of quantifiers.
+func QuantifierRank(f Formula) int {
+	switch f := f.(type) {
+	case Not:
+		return QuantifierRank(f.F)
+	case And:
+		r := 0
+		for _, g := range f.Fs {
+			if q := QuantifierRank(g); q > r {
+				r = q
+			}
+		}
+		return r
+	case Or:
+		r := 0
+		for _, g := range f.Fs {
+			if q := QuantifierRank(g); q > r {
+				r = q
+			}
+		}
+		return r
+	case Exists:
+		return 1 + QuantifierRank(f.F)
+	case Forall:
+		return 1 + QuantifierRank(f.F)
+	default:
+		return 0
+	}
+}
+
+// FQ computes f_q(ℓ) = (4q)^{q+ℓ} from Section 5.1.2, the locality radius
+// associated with q-rank ℓ. It saturates at a large cap to avoid overflow
+// (the paper's constants are astronomically large anyway; callers clamp).
+func FQ(q, ell int) int {
+	const limit = 1 << 30
+	v := 1
+	base := 4 * q
+	for i := 0; i < q+ell; i++ {
+		if v > limit/base {
+			return limit
+		}
+		v *= base
+	}
+	return v
+}
+
+// QRankAtMost reports whether f has q-rank at most ℓ (Section 5.1.2): the
+// quantifier rank is ≤ ℓ and every distance atom dist(x,y) ≤ d occurring in
+// the scope of i ≤ ℓ quantifiers satisfies d ≤ (4q)^{q+ℓ−i}.
+func QRankAtMost(f Formula, q, ell int) bool {
+	return qrankOK(f, q, ell, 0)
+}
+
+func qrankOK(f Formula, q, ell, depth int) bool {
+	switch f := f.(type) {
+	case DistLeq:
+		return f.D <= FQ(q, ell-depth)
+	case Not:
+		return qrankOK(f.F, q, ell, depth)
+	case And:
+		for _, g := range f.Fs {
+			if !qrankOK(g, q, ell, depth) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range f.Fs {
+			if !qrankOK(g, q, ell, depth) {
+				return false
+			}
+		}
+		return true
+	case Exists:
+		return depth < ell && qrankOK(f.F, q, ell, depth+1)
+	case Forall:
+		return depth < ell && qrankOK(f.F, q, ell, depth+1)
+	default:
+		return true
+	}
+}
+
+// Rename returns f with every free occurrence of variable from replaced by
+// to. Quantifiers binding `from` shadow the renaming as usual.
+func Rename(f Formula, from, to Var) Formula {
+	r := func(v Var) Var {
+		if v == from {
+			return to
+		}
+		return v
+	}
+	switch f := f.(type) {
+	case Truth:
+		return f
+	case Edge:
+		return Edge{r(f.X), r(f.Y)}
+	case HasColor:
+		return HasColor{f.C, r(f.X)}
+	case Eq:
+		return Eq{r(f.X), r(f.Y)}
+	case DistLeq:
+		return DistLeq{r(f.X), r(f.Y), f.D}
+	case Rel:
+		args := make([]Var, len(f.Args))
+		for i, a := range f.Args {
+			args[i] = r(a)
+		}
+		return Rel{f.Name, args}
+	case Not:
+		return Not{Rename(f.F, from, to)}
+	case And:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = Rename(g, from, to)
+		}
+		return And{fs}
+	case Or:
+		fs := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			fs[i] = Rename(g, from, to)
+		}
+		return Or{fs}
+	case Exists:
+		if f.V == from {
+			return f
+		}
+		return Exists{f.V, Rename(f.F, from, to)}
+	case Forall:
+		if f.V == from {
+			return f
+		}
+		return Forall{f.V, Rename(f.F, from, to)}
+	}
+	return f
+}
+
+// MaxDistConstant returns the largest d of any dist(·,·) ≤ d atom in f, or
+// 0 if there is none. It determines the locality radius the enumeration
+// engine must cover.
+func MaxDistConstant(f Formula) int {
+	switch f := f.(type) {
+	case DistLeq:
+		return f.D
+	case Not:
+		return MaxDistConstant(f.F)
+	case And:
+		d := 0
+		for _, g := range f.Fs {
+			if e := MaxDistConstant(g); e > d {
+				d = e
+			}
+		}
+		return d
+	case Or:
+		d := 0
+		for _, g := range f.Fs {
+			if e := MaxDistConstant(g); e > d {
+				d = e
+			}
+		}
+		return d
+	case Exists:
+		return MaxDistConstant(f.F)
+	case Forall:
+		return MaxDistConstant(f.F)
+	default:
+		return 0
+	}
+}

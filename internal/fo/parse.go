@@ -1,0 +1,432 @@
+package fo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in the query language used by the cmd/ tools:
+//
+//	formula  := or
+//	or       := and { "|" and }
+//	and      := unary { "&" unary }
+//	unary    := "~" unary | quantifier | "(" formula ")" | atom
+//	quantifier := ("exists" | "forall") var {var} unary
+//	atom     := "E" "(" var "," var ")"
+//	          | "C" int "(" var ")"
+//	          | "dist" "(" var "," var ")" ("<=" | ">") int
+//	          | var ("=" | "!=") var
+//	          | "true" | "false"
+//
+// Examples:
+//
+//	E(x,y) & C0(x)
+//	dist(x,y) > 2 & C1(y)
+//	exists z (E(x,z) & E(z,y)) | x = y
+func Parse(input string) (Formula, error) {
+	p := &parser{toks: lex(input)}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("fo: unexpected %q after formula", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokEq
+	tokNeq
+	tokLeq
+	tokGt
+	tokAnd
+	tokOr
+	tokNot
+	tokBad
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case c == '&':
+			toks = append(toks, token{tokAnd, "&"})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokOr, "|"})
+			i++
+		case c == '~':
+			toks = append(toks, token{tokNot, "~"})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "="})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokBad, "!"})
+				i++
+			}
+		case c == '<':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tokLeq, "<="})
+				i += 2
+			} else {
+				toks = append(toks, token{tokBad, "<"})
+				i++
+			}
+		case c == '>':
+			toks = append(toks, token{tokGt, ">"})
+			i++
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(s) && unicode.IsDigit(rune(s[j])) {
+				j++
+			}
+			toks = append(toks, token{tokInt, s[i:j]})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokBad, string(c)})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+func (p *parser) accept(k tokKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("fo: expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{f}
+	for p.accept(tokOr) {
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return Or{fs}, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []Formula{f}
+	for p.accept(tokAnd) {
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, g)
+	}
+	if len(fs) == 1 {
+		return fs[0], nil
+	}
+	return And{fs}, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch t := p.peek(); t.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	case tokLParen:
+		p.next()
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tokIdent:
+		switch t.text {
+		case "exists", "forall":
+			return p.parseQuantifier(t.text)
+		case "true":
+			p.next()
+			return Truth{true}, nil
+		case "false":
+			p.next()
+			return Truth{false}, nil
+		case "dist":
+			return p.parseDist()
+		case "E":
+			if p.toks[p.pos+1].kind == tokLParen {
+				return p.parseEdge()
+			}
+		}
+		if c, ok := colorIndex(t.text); ok && p.toks[p.pos+1].kind == tokLParen {
+			return p.parseColor(c)
+		}
+		if isRelName(t.text) && p.toks[p.pos+1].kind == tokLParen {
+			return p.parseRel()
+		}
+		return p.parseEquality()
+	}
+	return nil, fmt.Errorf("fo: unexpected %q", p.peek().text)
+}
+
+func colorIndex(ident string) (int, bool) {
+	if len(ident) < 2 || ident[0] != 'C' {
+		return 0, false
+	}
+	c, err := strconv.Atoi(ident[1:])
+	if err != nil || c < 0 {
+		return 0, false
+	}
+	return c, true
+}
+
+func (p *parser) parseQuantifier(kw string) (Formula, error) {
+	p.next() // keyword
+	var vars []Var
+	for p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+		// Stop collecting variables once the next token starts the body:
+		// an equality atom (ident = / !=), or an atom name followed by '('
+		// (E, C<k>, dist, or an uppercase relation name — variables are
+		// lowercase by convention).
+		next := p.toks[p.pos+1].kind
+		if next == tokEq || next == tokNeq {
+			break
+		}
+		if next == tokLParen {
+			txt := p.peek().text
+			_, isColor := colorIndex(txt)
+			if isColor || txt == "E" || txt == "dist" || isRelName(txt) {
+				break
+			}
+		}
+		vars = append(vars, Var(p.next().text))
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("fo: %s without variables", kw)
+	}
+	body, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(vars) - 1; i >= 0; i-- {
+		if kw == "exists" {
+			body = Exists{vars[i], body}
+		} else {
+			body = Forall{vars[i], body}
+		}
+	}
+	return body, nil
+}
+
+// isRelName reports whether an identifier names a relation: by convention
+// relation names start with an uppercase letter (E, C<k> and dist are
+// handled separately), variables with a lowercase letter.
+func isRelName(s string) bool {
+	return len(s) > 0 && s[0] >= 'A' && s[0] <= 'Z'
+}
+
+func (p *parser) parseRel() (Formula, error) {
+	name := p.next().text
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Var
+	for {
+		v, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, Var(v.text))
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return Rel{Name: name, Args: args}, nil
+	}
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "exists", "forall", "true", "false":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseEdge() (Formula, error) {
+	p.next() // E
+	x, y, err := p.parseVarPair()
+	if err != nil {
+		return nil, err
+	}
+	return Edge{x, y}, nil
+}
+
+func (p *parser) parseColor(c int) (Formula, error) {
+	p.next() // Ck
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return HasColor{c, Var(v.text)}, nil
+}
+
+func (p *parser) parseDist() (Formula, error) {
+	p.next() // dist
+	x, y, err := p.parseVarPair()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	if op.kind != tokLeq && op.kind != tokGt {
+		return nil, fmt.Errorf("fo: expected '<=' or '>' after dist, got %q", op.text)
+	}
+	d, err := p.expect(tokInt, "integer distance")
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(d.text)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("fo: bad distance %q", d.text)
+	}
+	if op.kind == tokLeq {
+		return DistLeq{x, y, n}, nil
+	}
+	return Not{DistLeq{x, y, n}}, nil
+}
+
+func (p *parser) parseVarPair() (Var, Var, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return "", "", err
+	}
+	x, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return "", "", err
+	}
+	y, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return "", "", err
+	}
+	return Var(x.text), Var(y.text), nil
+}
+
+func (p *parser) parseEquality() (Formula, error) {
+	x, err := p.expect(tokIdent, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if strings.ContainsAny(x.text, "(") {
+		return nil, fmt.Errorf("fo: bad variable %q", x.text)
+	}
+	op := p.next()
+	switch op.kind {
+	case tokEq:
+		y, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		return Eq{Var(x.text), Var(y.text)}, nil
+	case tokNeq:
+		y, err := p.expect(tokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		return Not{Eq{Var(x.text), Var(y.text)}}, nil
+	}
+	return nil, fmt.Errorf("fo: expected '=' or '!=' after %q, got %q", x.text, op.text)
+}

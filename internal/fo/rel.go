@@ -1,0 +1,25 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rel is a relational atom R(x_1,…,x_j) over an arbitrary relational
+// schema. Colored-graph evaluators do not interpret it; the rel package
+// translates it into the σ_c vocabulary via Lemma 2.2 and provides a
+// direct evaluator for relational structures.
+type Rel struct {
+	Name string
+	Args []Var
+}
+
+func (Rel) formula() {}
+
+func (f Rel) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = string(a)
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ","))
+}

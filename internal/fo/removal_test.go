@@ -1,0 +1,143 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomColored(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 2)
+	for i := 0; i < 2*n; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Float64() < 0.4 {
+			b.SetColor(v, 0)
+		}
+		if rng.Float64() < 0.4 {
+			b.SetColor(v, 1)
+		}
+	}
+	return b.Build()
+}
+
+var removalCorpus = []string{
+	"E(x,y)",
+	"x = y",
+	"C0(x) & C1(y)",
+	"dist(x,y) <= 2",
+	"dist(x,y) <= 3 & ~(E(x,y))",
+	"exists z (E(x,z) & E(z,y))",
+	"exists z (dist(x,z) <= 2 & C0(z))",
+	"forall z (~(E(x,z)) | C1(z))",
+	"exists z w (E(x,z) & E(z,w) & C0(w) & dist(w,y) <= 2)",
+}
+
+// TestRemovalLemma is the statement of Lemma 5.5 with no designated
+// variables: for tuples avoiding s, G ⊨ φ(b̄) iff H ⊨ φ′(b̄).
+func TestRemovalLemma(t *testing.T) {
+	g := randomColored(14, 3)
+	for s := 0; s < g.N(); s += 5 {
+		r := NewRemoval(g, s, 4)
+		gev := NewEvaluator(g)
+		hev := NewEvaluator(r.H)
+		for _, src := range removalCorpus {
+			phi := MustParse(src)
+			psi, err := r.Rewrite(phi, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			for x := 0; x < g.N(); x++ {
+				for y := 0; y < g.N(); y++ {
+					if x == s || y == s {
+						continue
+					}
+					want := gev.Eval(phi, Env{"x": x, "y": y})
+					got := hev.Eval(psi, Env{"x": r.Sub.Local(x), "y": r.Sub.Local(y)})
+					if got != want {
+						t.Fatalf("s=%d %s at (%d,%d): H says %v, G says %v",
+							s, src, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRemovalLemmaDesignated exercises the designated-variable form: the
+// variable y is semantically pinned to s and removed from the rewritten
+// formula's free variables.
+func TestRemovalLemmaDesignated(t *testing.T) {
+	g := randomColored(14, 9)
+	s := 6
+	r := NewRemoval(g, s, 4)
+	gev := NewEvaluator(g)
+	hev := NewEvaluator(r.H)
+	for _, src := range []string{
+		"E(x,y)",
+		"dist(x,y) <= 2",
+		"C0(y) & C1(x)",
+		"exists z (E(y,z) & E(z,x))",
+	} {
+		phi := MustParse(src)
+		psi, err := r.Rewrite(phi, []Var{"y"})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, fv := range FreeVars(psi) {
+			if fv == "y" {
+				t.Fatalf("%s: rewritten formula still mentions the designated variable", src)
+			}
+		}
+		for x := 0; x < g.N(); x++ {
+			if x == s {
+				continue
+			}
+			want := gev.Eval(phi, Env{"x": x, "y": s})
+			got := hev.Eval(psi, Env{"x": r.Sub.Local(x)})
+			if got != want {
+				t.Fatalf("%s at x=%d (y=s=%d): H says %v, G says %v", src, x, s, got, want)
+			}
+		}
+	}
+}
+
+// TestRemovalExample1C replays Example 1-C of the paper: rewriting the
+// distance-2 query under removal of a node uses exactly the R_1/R_2
+// recoloring disjunction.
+func TestRemovalExample1C(t *testing.T) {
+	// A star: removing the hub must turn dist ≤ 2 into the R_1∧R_1 test.
+	n := 10
+	b := graph.NewBuilder(n, 0)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	r := NewRemoval(g, 0, 2)
+	psi, err := r.Rewrite(MustParse("dist(x,y) <= 2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hev := NewEvaluator(r.H)
+	// All leaf pairs were at distance 2 through the hub; H is edgeless,
+	// so only the D_1 ∧ D_1 disjunct can witness them.
+	for x := 1; x < n; x++ {
+		for y := 1; y < n; y++ {
+			got := hev.Eval(psi, Env{"x": r.Sub.Local(x), "y": r.Sub.Local(y)})
+			if !got {
+				t.Fatalf("leaf pair (%d,%d) lost its distance-2 certificate", x, y)
+			}
+		}
+	}
+}
+
+func TestRemovalRejectsOversizedConstant(t *testing.T) {
+	g := randomColored(8, 1)
+	r := NewRemoval(g, 0, 2)
+	if _, err := r.Rewrite(MustParse("dist(x,y) <= 5"), nil); err == nil {
+		t.Fatal("expected an error for d > maxD")
+	}
+}

@@ -1,0 +1,329 @@
+// Package gen provides deterministic generators for the graph classes used
+// in the experiments. The nowhere dense classes (paths, trees, grids,
+// bounded-degree graphs, …) instantiate the classes the paper's theorems
+// apply to; the dense controls (cliques, dense random graphs, 1-subdivided
+// cliques taken as a family) are *somewhere dense* and serve as negative
+// controls for the sparsity and splitter-game experiments.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Class names a generator.
+type Class string
+
+// Nowhere dense classes.
+const (
+	Path          Class = "path"         // a simple path (treewidth 1)
+	Cycle         Class = "cycle"        // a simple cycle (treewidth 2)
+	Star          Class = "star"         // one center, n-1 leaves
+	Caterpillar   Class = "caterpillar"  // spine path with pendant leaves
+	BalancedTree  Class = "btree"        // balanced tree with fixed branching
+	RandomTree    Class = "rtree"        // uniform random recursive tree
+	Grid          Class = "grid"         // √n×√n planar grid
+	KingGrid      Class = "kinggrid"     // grid + diagonals (degree ≤ 8)
+	BoundedDegree Class = "bdeg"         // random graph with max degree bound
+	SparseRandom  Class = "sparserandom" // G(n, m) with m = avgdeg·n/2, avgdeg O(1)
+	PartialKTree  Class = "ktree"        // random partial k-tree (treewidth ≤ k)
+	Outerplanar   Class = "outerplanar"  // cycle with non-crossing chords
+)
+
+// Somewhere dense controls.
+const (
+	Clique           Class = "clique"    // K_n
+	DenseRandom      Class = "dense"     // G(n, m) with m ≈ n^{1.5}/2
+	SubdividedClique Class = "subclique" // 1-subdivision of K_k with k ≈ √n
+)
+
+// Classes lists all generator names, nowhere dense first.
+var Classes = []Class{
+	Path, Cycle, Star, Caterpillar, BalancedTree, RandomTree, Grid,
+	KingGrid, BoundedDegree, SparseRandom, PartialKTree, Outerplanar,
+	Clique, DenseRandom, SubdividedClique,
+}
+
+// NowhereDense reports whether the class is one of the nowhere dense
+// generators (as opposed to a dense control).
+func NowhereDense(c Class) bool {
+	switch c {
+	case Clique, DenseRandom, SubdividedClique:
+		return false
+	}
+	return true
+}
+
+// Options tunes a generator. The zero value is usable: it yields an
+// uncolored graph with the documented per-class defaults.
+type Options struct {
+	Seed      int64   // PRNG seed (generators are deterministic per seed)
+	Colors    int     // number of colors in the schema (0 = uncolored)
+	ColorProb float64 // probability that a vertex carries each color (default 0.3)
+	Branching int     // BalancedTree branching factor (default 2)
+	Degree    int     // BoundedDegree max degree (default 4)
+	AvgDeg    float64 // SparseRandom average degree (default 3)
+	Treewidth int     // PartialKTree width parameter (default 3)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ColorProb == 0 {
+		o.ColorProb = 0.3
+	}
+	if o.Branching == 0 {
+		o.Branching = 2
+	}
+	if o.Degree == 0 {
+		o.Degree = 4
+	}
+	if o.AvgDeg == 0 {
+		o.AvgDeg = 3
+	}
+	if o.Treewidth == 0 {
+		o.Treewidth = 3
+	}
+	return o
+}
+
+// Generate builds a graph of the given class with (approximately, for grid
+// classes exactly ⌊√n⌋², for SubdividedClique the nearest k(k+1)/2 shape)
+// n vertices.
+func Generate(class Class, n int, opt Options) *graph.Graph {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var b *graph.Builder
+	switch class {
+	case Path:
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 0; v+1 < n; v++ {
+			b.AddEdge(v, v+1)
+		}
+	case Cycle:
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 0; v+1 < n; v++ {
+			b.AddEdge(v, v+1)
+		}
+		if n > 2 {
+			b.AddEdge(n-1, 0)
+		}
+	case Star:
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 1; v < n; v++ {
+			b.AddEdge(0, v)
+		}
+	case Caterpillar:
+		b = graph.NewBuilder(n, opt.Colors)
+		spine := n / 2
+		for v := 0; v+1 < spine; v++ {
+			b.AddEdge(v, v+1)
+		}
+		for v := spine; v < n; v++ {
+			b.AddEdge(v, (v-spine)%max(spine, 1))
+		}
+	case BalancedTree:
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 1; v < n; v++ {
+			b.AddEdge(v, (v-1)/opt.Branching)
+		}
+	case RandomTree:
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 1; v < n; v++ {
+			b.AddEdge(v, rng.Intn(v))
+		}
+	case Grid:
+		side := intSqrt(n)
+		b = graph.NewBuilder(side*side, opt.Colors)
+		gridEdges(b, side, false)
+	case KingGrid:
+		side := intSqrt(n)
+		b = graph.NewBuilder(side*side, opt.Colors)
+		gridEdges(b, side, true)
+	case BoundedDegree:
+		b = graph.NewBuilder(n, opt.Colors)
+		boundedDegreeEdges(b, n, opt.Degree, rng)
+	case SparseRandom:
+		b = graph.NewBuilder(n, opt.Colors)
+		m := int(opt.AvgDeg * float64(n) / 2)
+		randomEdges(b, n, m, rng)
+	case PartialKTree:
+		// Build a k-tree (each new vertex joined to a random existing
+		// k-clique), then keep each edge with probability 0.6: a random
+		// partial k-tree, treewidth ≤ k.
+		k := opt.Treewidth
+		if k >= n {
+			k = n - 1
+		}
+		b = graph.NewBuilder(n, opt.Colors)
+		cliques := [][]int{}
+		base := make([]int, 0, k)
+		for v := 0; v < k && v < n; v++ {
+			for u := 0; u < v; u++ {
+				if rng.Float64() < 0.6 {
+					b.AddEdge(u, v)
+				}
+			}
+			base = append(base, v)
+		}
+		if len(base) == k {
+			cliques = append(cliques, base)
+		}
+		for v := k; v < n; v++ {
+			var parent []int
+			if len(cliques) == 0 {
+				parent = base
+			} else {
+				parent = cliques[rng.Intn(len(cliques))]
+			}
+			for _, u := range parent {
+				if rng.Float64() < 0.6 {
+					b.AddEdge(u, v)
+				}
+			}
+			// New k-cliques: parent with one vertex swapped for v.
+			for i := range parent {
+				nc := append([]int(nil), parent...)
+				nc[i] = v
+				cliques = append(cliques, nc)
+				if len(cliques) > 4*n {
+					cliques = cliques[len(cliques)-2*n:]
+				}
+				break // keep one per vertex to bound memory
+			}
+		}
+	case Outerplanar:
+		// A cycle plus random non-crossing chords (a maximal outerplanar
+		// triangulation thinned to 70%).
+		b = graph.NewBuilder(n, opt.Colors)
+		for v := 0; v+1 < n; v++ {
+			b.AddEdge(v, v+1)
+		}
+		if n > 2 {
+			b.AddEdge(n-1, 0)
+		}
+		var tri func(lo, hi int)
+		tri = func(lo, hi int) {
+			if hi-lo < 2 {
+				return
+			}
+			mid := lo + 1 + rng.Intn(hi-lo-1)
+			if mid-lo > 1 && rng.Float64() < 0.7 {
+				b.AddEdge(lo, mid)
+			}
+			if hi-mid > 1 && rng.Float64() < 0.7 {
+				b.AddEdge(mid, hi)
+			}
+			tri(lo, mid)
+			tri(mid, hi)
+		}
+		if n > 3 {
+			tri(0, n-1)
+		}
+	case Clique:
+		b = graph.NewBuilder(n, opt.Colors)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+	case DenseRandom:
+		b = graph.NewBuilder(n, opt.Colors)
+		m := int(math.Pow(float64(n), 1.5) / 2)
+		randomEdges(b, n, m, rng)
+	case SubdividedClique:
+		// 1-subdivision of K_k: k branch vertices plus one subdivision
+		// vertex per pair; total k + k(k-1)/2 ≈ n for k ≈ √(2n).
+		k := 2
+		for k+k*(k-1)/2 < n {
+			k++
+		}
+		total := k + k*(k-1)/2
+		b = graph.NewBuilder(total, opt.Colors)
+		mid := k
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				b.AddEdge(u, mid)
+				b.AddEdge(mid, v)
+				mid++
+			}
+		}
+	default:
+		panic(fmt.Sprintf("gen: unknown class %q", class))
+	}
+	colorize(b, rng, opt)
+	return b.Build()
+}
+
+func gridEdges(b *graph.Builder, side int, diagonals bool) {
+	id := func(x, y int) int { return y*side + x }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if x+1 < side {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < side {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+			if diagonals && x+1 < side && y+1 < side {
+				b.AddEdge(id(x, y), id(x+1, y+1))
+				b.AddEdge(id(x+1, y), id(x, y+1))
+			}
+		}
+	}
+}
+
+func boundedDegreeEdges(b *graph.Builder, n, maxDeg int, rng *rand.Rand) {
+	deg := make([]int, n)
+	attempts := maxDeg * n
+	for i := 0; i < attempts; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || deg[u] >= maxDeg || deg[v] >= maxDeg {
+			continue
+		}
+		b.AddEdge(u, v)
+		deg[u]++
+		deg[v]++
+	}
+}
+
+func randomEdges(b *graph.Builder, n, m int, rng *rand.Rand) {
+	if n < 2 {
+		return
+	}
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+}
+
+func colorize(b *graph.Builder, rng *rand.Rand, opt Options) {
+	if opt.Colors == 0 {
+		return
+	}
+	for v := 0; v < b.N(); v++ {
+		for c := 0; c < opt.Colors; c++ {
+			if rng.Float64() < opt.ColorProb {
+				b.SetColor(v, c)
+			}
+		}
+	}
+}
+
+func intSqrt(n int) int {
+	s := int(math.Sqrt(float64(n)))
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	for s*s > n {
+		s--
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

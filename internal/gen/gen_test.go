@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	n := 200
+	cases := []struct {
+		class Class
+		check func(t *testing.T, g *graph.Graph)
+	}{
+		{Path, func(t *testing.T, g *graph.Graph) {
+			if g.M() != n-1 {
+				t.Fatalf("path edges = %d", g.M())
+			}
+			if g.Degree(0) != 1 || g.Degree(n/2) != 2 {
+				t.Fatal("path degrees wrong")
+			}
+		}},
+		{Cycle, func(t *testing.T, g *graph.Graph) {
+			if g.M() != n {
+				t.Fatalf("cycle edges = %d", g.M())
+			}
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) != 2 {
+					t.Fatalf("cycle degree(%d) = %d", v, g.Degree(v))
+				}
+			}
+		}},
+		{Star, func(t *testing.T, g *graph.Graph) {
+			if g.Degree(0) != n-1 {
+				t.Fatal("star hub degree wrong")
+			}
+		}},
+		{BalancedTree, func(t *testing.T, g *graph.Graph) {
+			if g.M() != n-1 {
+				t.Fatal("tree edge count")
+			}
+			if len(graph.ConnectedComponents(g)) != 1 {
+				t.Fatal("tree disconnected")
+			}
+		}},
+		{RandomTree, func(t *testing.T, g *graph.Graph) {
+			if g.M() != n-1 || len(graph.ConnectedComponents(g)) != 1 {
+				t.Fatal("random tree not a tree")
+			}
+		}},
+		{Grid, func(t *testing.T, g *graph.Graph) {
+			side := 14 // ⌊√200⌋
+			if g.N() != side*side {
+				t.Fatalf("grid n = %d", g.N())
+			}
+			if g.MaxDegree() != 4 {
+				t.Fatalf("grid max degree = %d", g.MaxDegree())
+			}
+		}},
+		{KingGrid, func(t *testing.T, g *graph.Graph) {
+			if g.MaxDegree() != 8 {
+				t.Fatalf("king grid max degree = %d", g.MaxDegree())
+			}
+		}},
+		{BoundedDegree, func(t *testing.T, g *graph.Graph) {
+			if g.MaxDegree() > 4 {
+				t.Fatalf("bounded degree exceeded: %d", g.MaxDegree())
+			}
+		}},
+		{PartialKTree, func(t *testing.T, g *graph.Graph) {
+			// Treewidth ≤ 3 implies at most 3n − 6 edges.
+			if g.M() > 3*g.N() {
+				t.Fatalf("partial 3-tree too dense: %d edges", g.M())
+			}
+		}},
+		{Outerplanar, func(t *testing.T, g *graph.Graph) {
+			// Outerplanar graphs have at most 2n − 3 edges.
+			if g.M() > 2*g.N()-3 {
+				t.Fatalf("outerplanar bound violated: %d edges on %d vertices", g.M(), g.N())
+			}
+		}},
+		{Clique, func(t *testing.T, g *graph.Graph) {
+			if g.M() != n*(n-1)/2 {
+				t.Fatal("clique edge count")
+			}
+		}},
+		{SubdividedClique, func(t *testing.T, g *graph.Graph) {
+			// Branch vertices have degree k−1, subdivision vertices 2.
+			deg2 := 0
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) == 2 {
+					deg2++
+				}
+			}
+			if deg2 == 0 {
+				t.Fatal("no subdivision vertices")
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(string(c.class), func(t *testing.T) {
+			c.check(t, Generate(c.class, n, Options{Seed: 5}))
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(BoundedDegree, 150, Options{Seed: 9, Colors: 2})
+	b := Generate(BoundedDegree, 150, Options{Seed: 9, Colors: 2})
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.Degree(v) != b.Degree(v) || a.HasColor(v, 0) != b.HasColor(v, 0) {
+			t.Fatalf("vertex %d differs", v)
+		}
+	}
+	c := Generate(BoundedDegree, 150, Options{Seed: 10})
+	if a.M() == c.M() && a.MaxDegree() == c.MaxDegree() {
+		// Extremely unlikely to match on both; tolerate but check edges.
+		same := true
+		for v := 0; v < a.N() && same; v++ {
+			if a.Degree(v) != c.Degree(v) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateColors(t *testing.T) {
+	g := Generate(Grid, 400, Options{Seed: 2, Colors: 3, ColorProb: 0.5})
+	counts := make([]int, 3)
+	for v := 0; v < g.N(); v++ {
+		for c := 0; c < 3; c++ {
+			if g.HasColor(v, c) {
+				counts[c]++
+			}
+		}
+	}
+	for c, cnt := range counts {
+		if cnt < g.N()/4 || cnt > 3*g.N()/4 {
+			t.Fatalf("color %d count %d implausible for p=0.5", c, cnt)
+		}
+	}
+}
+
+func TestNowhereDenseFlag(t *testing.T) {
+	for _, c := range Classes {
+		nd := NowhereDense(c)
+		switch c {
+		case Clique, DenseRandom, SubdividedClique:
+			if nd {
+				t.Errorf("%s misclassified as nowhere dense", c)
+			}
+		default:
+			if !nd {
+				t.Errorf("%s misclassified as dense", c)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate("nope", 10, Options{})
+}
+
+func TestGenerateTinySizes(t *testing.T) {
+	for _, c := range Classes {
+		for _, n := range []int{1, 2, 3} {
+			g := Generate(c, n, Options{Seed: 1})
+			if g.N() < 1 {
+				t.Fatalf("%s n=%d: empty graph", c, n)
+			}
+		}
+	}
+}

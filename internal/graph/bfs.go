@@ -1,0 +1,87 @@
+package graph
+
+// BFS holds reusable scratch space for truncated breadth-first searches on a
+// single graph. It is not safe for concurrent use; create one per goroutine.
+type BFS struct {
+	g     *Graph
+	dist  []int32 // -1 = unvisited in the current epoch
+	epoch []int32
+	cur   int32
+	queue []int32
+}
+
+// NewBFS returns a BFS scratch for g.
+func NewBFS(g *Graph) *BFS {
+	return &BFS{
+		g:     g,
+		dist:  make([]int32, g.N()),
+		epoch: make([]int32, g.N()),
+		cur:   0,
+	}
+}
+
+// Ball computes N_r(src): all vertices at distance ≤ r from src, in BFS
+// order (hence sorted by distance, ties by discovery). The returned slice is
+// valid until the next call on this BFS. Dist may be called on the returned
+// vertices afterwards (before the next search).
+func (b *BFS) Ball(src V, r int) []int32 {
+	return b.BallMulti([]V{src}, r)
+}
+
+// BallMulti computes N_r(ā) = ∪_i N_r(a_i) for a tuple of sources.
+func (b *BFS) BallMulti(srcs []V, r int) []int32 {
+	b.cur++
+	b.queue = b.queue[:0]
+	for _, s := range srcs {
+		if b.epoch[s] == b.cur {
+			continue
+		}
+		b.epoch[s] = b.cur
+		b.dist[s] = 0
+		b.queue = append(b.queue, int32(s))
+	}
+	for head := 0; head < len(b.queue); head++ {
+		v := b.queue[head]
+		d := b.dist[v]
+		if int(d) >= r {
+			continue
+		}
+		for _, w := range b.g.Neighbors(int(v)) {
+			if b.epoch[w] == b.cur {
+				continue
+			}
+			b.epoch[w] = b.cur
+			b.dist[w] = d + 1
+			b.queue = append(b.queue, w)
+		}
+	}
+	return b.queue
+}
+
+// Dist returns the distance from the sources of the last search to v, or -1
+// if v was not reached within the radius.
+func (b *BFS) Dist(v V) int {
+	if b.epoch[v] != b.cur {
+		return -1
+	}
+	return int(b.dist[v])
+}
+
+// Distance returns dist_G(u, v) truncated at max: it returns the true
+// distance if it is ≤ max, and -1 otherwise. It overwrites the scratch of
+// any previous search.
+func (b *BFS) Distance(u, v V, max int) int {
+	if u == v {
+		return 0
+	}
+	b.Ball(u, max)
+	return b.Dist(v)
+}
+
+// FarthestWithin returns a vertex of N_r(src) at maximal distance from src,
+// together with that distance. It is used by center-finding heuristics.
+func (b *BFS) FarthestWithin(src V, r int) (V, int) {
+	ball := b.Ball(src, r)
+	last := ball[len(ball)-1]
+	return int(last), int(b.dist[last])
+}

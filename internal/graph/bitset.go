@@ -1,0 +1,45 @@
+package graph
+
+// Bitset is a fixed-capacity set of small non-negative integers, used for
+// vertex color sets. A nil Bitset behaves as the empty set for Has.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold values in [0, n).
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set adds i to the set.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is in the set.
+func (b Bitset) Has(i int) bool {
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<uint(i&63)) != 0
+}
+
+// Clone returns a copy of the set.
+func (b Bitset) Clone() Bitset {
+	if b == nil {
+		return nil
+	}
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (b Bitset) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

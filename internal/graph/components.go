@@ -1,0 +1,38 @@
+package graph
+
+import "sort"
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// g, each sorted increasingly, ordered by smallest vertex.
+func ConnectedComponents(g *Graph) [][]V {
+	seen := make([]bool, g.N())
+	var comps [][]V
+	var stack []V
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack[:0], s)
+		comp := []V{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, int(w))
+				}
+			}
+		}
+		// DFS order is not sorted; restore vertex order.
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsEdgeless reports whether the graph has no edges (the base case λ=1 of
+// the splitter-game inductions in Sections 4.2 and 5.2).
+func IsEdgeless(g *Graph) bool { return g.M() == 0 }

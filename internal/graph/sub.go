@@ -1,0 +1,135 @@
+package graph
+
+import "sort"
+
+// Sub is an induced substructure G[B] (Section 2 of the paper) together with
+// the vertex renaming between G and the substructure. Local vertices are
+// 0..len(Orig)-1 and Orig maps them back to vertices of the parent graph;
+// the local order agrees with the parent order (Orig is increasing), so
+// lexicographic reasoning transfers between the two.
+type Sub struct {
+	G    *Graph
+	Orig []V // local -> parent, strictly increasing
+}
+
+// IdentitySub returns the trivial substructure covering all of g, sharing
+// g's storage (no copy).
+func IdentitySub(g *Graph) *Sub {
+	orig := make([]V, g.N())
+	for i := range orig {
+		orig[i] = i
+	}
+	return &Sub{G: g, Orig: orig}
+}
+
+// Induce returns the induced substructure G[vs]. The vertex set vs may be in
+// any order and may contain duplicates; extra colors (if any) carry over.
+// When vs covers the whole graph the result shares g's storage.
+func Induce(g *Graph, vs []V) *Sub {
+	if len(vs) >= g.N() {
+		seen := make([]bool, g.N())
+		distinct := 0
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				distinct++
+			}
+		}
+		if distinct == g.N() {
+			return IdentitySub(g)
+		}
+	}
+	return induceProper(g, vs)
+}
+
+func induceProper(g *Graph, vs []V) *Sub {
+	orig := append([]V(nil), vs...)
+	sort.Ints(orig)
+	orig = dedupInts(orig)
+	toLocal := make(map[V]int, len(orig))
+	for i, v := range orig {
+		toLocal[v] = i
+	}
+	b := NewBuilder(len(orig), g.NumColors())
+	for i, v := range orig {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := toLocal[int(w)]; ok && i < j {
+				b.AddEdge(i, j)
+			}
+		}
+		if cs := g.Colors(v); cs != nil {
+			for c := 0; c < g.NumColors(); c++ {
+				if cs.Has(c) {
+					b.SetColor(i, c)
+				}
+			}
+		}
+	}
+	return &Sub{G: b.Build(), Orig: orig}
+}
+
+// Local returns the local index of parent vertex v, or -1 if v is not in the
+// substructure. It runs in O(log |Sub|).
+func (s *Sub) Local(v V) int {
+	i := sort.SearchInts(s.Orig, v)
+	if i < len(s.Orig) && s.Orig[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether parent vertex v belongs to the substructure.
+func (s *Sub) Contains(v V) bool { return s.Local(v) >= 0 }
+
+// RemoveVertex returns G with vertex s deleted (used for the splitter-game
+// recursion, where Splitter's answer s_X is removed from a bag), keeping the
+// same vertex numbering convention via a Sub.
+func RemoveVertex(g *Graph, s V) *Sub {
+	vs := make([]V, 0, g.N()-1)
+	for v := 0; v < g.N(); v++ {
+		if v != s {
+			vs = append(vs, v)
+		}
+	}
+	return Induce(g, vs)
+}
+
+// AddColors returns a copy of g with extra color classes appended: the new
+// graph has g.NumColors()+len(classes) colors, where class i colors exactly
+// the vertices in classes[i] with color g.NumColors()+i. This implements the
+// recolorings ("σ'-expansions") used throughout Sections 4 and 5.
+func AddColors(g *Graph, classes ...[]V) *Graph {
+	nc := g.NumColors() + len(classes)
+	b := NewBuilder(g.N(), nc)
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < int(w) {
+				b.AddEdge(v, int(w))
+			}
+		}
+		if cs := g.Colors(v); cs != nil {
+			for c := 0; c < g.NumColors(); c++ {
+				if cs.Has(c) {
+					b.SetColor(v, c)
+				}
+			}
+		}
+	}
+	for i, class := range classes {
+		for _, v := range class {
+			b.SetColor(v, g.NumColors()+i)
+		}
+	}
+	return b.Build()
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i > 0 && x == xs[i-1] {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

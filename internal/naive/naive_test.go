@@ -1,0 +1,83 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/gen"
+)
+
+func TestSolutionsLexOrder(t *testing.T) {
+	g := gen.Generate(gen.Path, 30, gen.Options{Seed: 1, Colors: 1, ColorProb: 0.5})
+	phi := fo.MustParse("E(x,y) & C0(x)")
+	sols := Solutions(g, phi, []fo.Var{"x", "y"})
+	if len(sols) == 0 {
+		t.Fatal("expected solutions")
+	}
+	ev := fo.NewEvaluator(g)
+	for i, s := range sols {
+		if !ev.EvalTuple(phi, []fo.Var{"x", "y"}, s) {
+			t.Fatalf("non-solution %v", s)
+		}
+		if i > 0 {
+			prev := sols[i-1]
+			if prev[0] > s[0] || (prev[0] == s[0] && prev[1] >= s[1]) {
+				t.Fatalf("order violation: %v before %v", prev, s)
+			}
+		}
+	}
+}
+
+func TestEnumeratorMatchesMaterialization(t *testing.T) {
+	g := gen.Generate(gen.Grid, 49, gen.Options{Seed: 2, Colors: 1})
+	lq, err := core.Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"),
+		[]fo.Var{"x", "y"}, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolutionsLocal(g, lq)
+	e := NewEnumerator(g, lq)
+	var got [][]int
+	for {
+		s, ok := e.Next()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d, materialized %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("position %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Exhausted enumerator keeps returning not-ok.
+	if _, ok := e.Next(); ok {
+		t.Fatal("enumerator resurrected after exhaustion")
+	}
+}
+
+func TestTestFO(t *testing.T) {
+	g := gen.Generate(gen.Cycle, 10, gen.Options{})
+	if !TestFO(g, fo.MustParse("E(x,y)"), []fo.Var{"x", "y"}, []int{0, 1}) {
+		t.Fatal("edge (0,1) should hold on the cycle")
+	}
+	if TestFO(g, fo.MustParse("E(x,y)"), []fo.Var{"x", "y"}, []int{0, 5}) {
+		t.Fatal("(0,5) is not an edge")
+	}
+}
+
+func TestEnumeratorEmptyGraph(t *testing.T) {
+	lq, err := core.Compile(fo.MustParse("C0(x)"), []fo.Var{"x"}, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Path, 1, gen.Options{})
+	e := NewEnumerator(g, lq)
+	if _, ok := e.Next(); ok {
+		t.Fatal("uncolored single vertex has no C0 solutions")
+	}
+}

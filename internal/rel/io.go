@@ -1,0 +1,112 @@
+package rel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format for relational structures is line oriented:
+//
+//	db <n>
+//	rel <Name> <arity>
+//	t <Name> <e1> <e2> ...
+//
+// Blank lines and lines starting with '#' are ignored. Elements are
+// 0-based. This is the interchange format of cmd/fodrel.
+
+// Write serializes s in the text format.
+func Write(w io.Writer, s *Structure) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "db %d\n", s.N())
+	for _, name := range s.Relations() {
+		fmt.Fprintf(bw, "rel %s %d\n", name, s.Arity(name))
+	}
+	for _, name := range s.Relations() {
+		for _, tup := range s.Tuples(name) {
+			fmt.Fprintf(bw, "t %s", name)
+			for _, x := range tup {
+				fmt.Fprintf(bw, " %d", x)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a relational structure in the text format.
+func Read(r io.Reader) (*Structure, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var s *Structure
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		f := strings.Fields(txt)
+		switch f[0] {
+		case "db":
+			if s != nil {
+				return nil, fmt.Errorf("rel: line %d: duplicate header", line)
+			}
+			if len(f) != 2 {
+				return nil, fmt.Errorf("rel: line %d: want 'db <n>'", line)
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("rel: line %d: bad domain size %q", line, f[1])
+			}
+			s = NewStructure(n)
+		case "rel":
+			if s == nil {
+				return nil, fmt.Errorf("rel: line %d: relation before header", line)
+			}
+			if len(f) != 3 {
+				return nil, fmt.Errorf("rel: line %d: want 'rel <Name> <arity>'", line)
+			}
+			ar, err := strconv.Atoi(f[2])
+			if err != nil || ar < 1 {
+				return nil, fmt.Errorf("rel: line %d: bad arity %q", line, f[2])
+			}
+			s.AddRelation(f[1], ar)
+		case "t":
+			if s == nil {
+				return nil, fmt.Errorf("rel: line %d: tuple before header", line)
+			}
+			if len(f) < 3 {
+				return nil, fmt.Errorf("rel: line %d: want 't <Name> <elements...>'", line)
+			}
+			name := f[1]
+			ar, ok := s.arity[name]
+			if !ok {
+				return nil, fmt.Errorf("rel: line %d: unknown relation %q", line, name)
+			}
+			if len(f)-2 != ar {
+				return nil, fmt.Errorf("rel: line %d: %q expects arity %d", line, name, ar)
+			}
+			tup := make([]int, ar)
+			for i := 0; i < ar; i++ {
+				x, err := strconv.Atoi(f[2+i])
+				if err != nil || x < 0 || x >= s.N() {
+					return nil, fmt.Errorf("rel: line %d: bad element %q", line, f[2+i])
+				}
+				tup[i] = x
+			}
+			s.Insert(name, tup...)
+		default:
+			return nil, fmt.Errorf("rel: line %d: unknown record %q", line, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("rel: missing 'db <n>' header")
+	}
+	return s, nil
+}

@@ -1,0 +1,362 @@
+// Package rel implements relational structures (databases) and their
+// reduction to colored graphs from Section 2 of the paper: the adjacency
+// graph A(D), its colored 1-subdivision A′(D), and the query translation of
+// Lemma 2.2. This is what extends the colored-graph results to arbitrary
+// relational databases.
+package rel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fo"
+	"repro/internal/graph"
+)
+
+// Structure is a finite relational structure with domain {0, …, n−1}.
+type Structure struct {
+	n      int
+	names  []string // relation names, insertion order
+	arity  map[string]int
+	tuples map[string][][]int
+	seen   map[string]map[string]bool // per relation: dedup set
+}
+
+// NewStructure returns an empty structure with an n-element domain.
+func NewStructure(n int) *Structure {
+	return &Structure{
+		n:      n,
+		arity:  map[string]int{},
+		tuples: map[string][][]int{},
+		seen:   map[string]map[string]bool{},
+	}
+}
+
+// AddRelation declares a relation symbol.
+func (s *Structure) AddRelation(name string, arity int) {
+	if _, dup := s.arity[name]; dup {
+		panic(fmt.Sprintf("rel: duplicate relation %q", name))
+	}
+	if arity < 1 {
+		panic(fmt.Sprintf("rel: relation %q has arity %d", name, arity))
+	}
+	s.names = append(s.names, name)
+	s.arity[name] = arity
+	s.seen[name] = map[string]bool{}
+}
+
+// Insert adds a tuple to a relation (duplicates are ignored).
+func (s *Structure) Insert(name string, tuple ...int) {
+	ar, ok := s.arity[name]
+	if !ok {
+		panic(fmt.Sprintf("rel: unknown relation %q", name))
+	}
+	if len(tuple) != ar {
+		panic(fmt.Sprintf("rel: %q expects arity %d, got %d", name, ar, len(tuple)))
+	}
+	for _, x := range tuple {
+		if x < 0 || x >= s.n {
+			panic(fmt.Sprintf("rel: element %d outside domain [0,%d)", x, s.n))
+		}
+	}
+	key := fmt.Sprint(tuple)
+	if s.seen[name][key] {
+		return
+	}
+	s.seen[name][key] = true
+	s.tuples[name] = append(s.tuples[name], append([]int(nil), tuple...))
+}
+
+// N returns the domain size.
+func (s *Structure) N() int { return s.n }
+
+// Relations returns the declared relation names in insertion order.
+func (s *Structure) Relations() []string { return s.names }
+
+// Arity returns the arity of a relation.
+func (s *Structure) Arity(name string) int { return s.arity[name] }
+
+// Tuples returns the tuples of a relation (shared; do not modify).
+func (s *Structure) Tuples(name string) [][]int { return s.tuples[name] }
+
+// Holds reports whether the tuple belongs to the relation.
+func (s *Structure) Holds(name string, tuple []int) bool {
+	return s.seen[name][fmt.Sprint(tuple)]
+}
+
+// MaxArity returns the largest declared arity (the k of Lemma 2.2).
+func (s *Structure) MaxArity() int {
+	k := 0
+	for _, a := range s.arity {
+		if a > k {
+			k = a
+		}
+	}
+	return k
+}
+
+// Encoding is the colored graph A′(D) together with the color layout used
+// by the translation: colors 0..k−1 are the position colors C_1..C_k (the
+// paper's 1-based C_i is color i−1 here), color k+ri is P_R for the ri-th
+// relation, and the last color marks the original domain elements (used to
+// relativize quantifiers so that graph solutions range over elements only).
+type Encoding struct {
+	Graph *graph.Graph
+	// K is the maximal arity.
+	K int
+	// RelColor maps a relation name to its P_R color.
+	RelColor map[string]int
+	// ElemColor marks original domain elements; they are graph vertices
+	// 0..n−1, so tuples over the structure and over the graph coincide.
+	ElemColor int
+}
+
+// AdjacencyGraph builds A′(D): the domain of D (vertices 0..n−1, preserving
+// the element order), one vertex per relation tuple colored P_R, and one
+// C_i-colored subdivision vertex per (tuple, position) incidence.
+func (s *Structure) AdjacencyGraph() *Encoding {
+	k := s.MaxArity()
+	nTuples, nIncidence := 0, 0
+	for _, name := range s.names {
+		nTuples += len(s.tuples[name])
+		nIncidence += len(s.tuples[name]) * s.arity[name]
+	}
+	total := s.n + nTuples + nIncidence
+	ncolors := k + len(s.names) + 1
+	elemColor := ncolors - 1
+
+	b := graph.NewBuilder(total, ncolors)
+	relColor := map[string]int{}
+	sortedNames := append([]string(nil), s.names...)
+	sort.Strings(sortedNames)
+	for i, name := range sortedNames {
+		relColor[name] = k + i
+	}
+	for v := 0; v < s.n; v++ {
+		b.SetColor(v, elemColor)
+	}
+	tnode := s.n
+	snode := s.n + nTuples
+	for _, name := range s.names {
+		for _, tup := range s.tuples[name] {
+			b.SetColor(tnode, relColor[name])
+			for i, a := range tup {
+				b.SetColor(snode, i) // C_{i+1} of the paper
+				b.AddEdge(a, snode)
+				b.AddEdge(snode, tnode)
+				snode++
+			}
+			tnode++
+		}
+	}
+	return &Encoding{Graph: b.Build(), K: k, RelColor: relColor, ElemColor: elemColor}
+}
+
+// Translate implements Lemma 2.2: it rewrites a relational FO⁺ query φ
+// into a query ψ over the colored graph A′(D) such that φ(D) = ψ(A′(D)).
+// Relational atoms become the ∃t(P_R(t) ∧ ⋀_i ∃z(C_i(z) ∧ E(x_i,z) ∧
+// E(z,t))) pattern; quantifiers are relativized to domain elements; and
+// distance atoms are scaled by 4, because one Gaifman edge of D becomes a
+// length-4 path in A′(D).
+func (enc *Encoding) Translate(phi fo.Formula) (fo.Formula, error) {
+	var fresh int
+	return enc.translate(phi, &fresh)
+}
+
+func (enc *Encoding) translate(f fo.Formula, fresh *int) (fo.Formula, error) {
+	switch f := f.(type) {
+	case fo.Truth, fo.Eq:
+		return f, nil
+	case fo.Edge:
+		return nil, fmt.Errorf("rel: raw E atoms are not part of the relational schema")
+	case fo.HasColor:
+		return nil, fmt.Errorf("rel: raw color atoms are not part of the relational schema")
+	case fo.DistLeq:
+		return fo.DistLeq{X: f.X, Y: f.Y, D: 4 * f.D}, nil
+	case fo.Rel:
+		color, ok := enc.RelColor[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("rel: unknown relation %q", f.Name)
+		}
+		// The Lemma 2.2 pattern, with the quantifiers ordered so that each
+		// is guarded by an edge atom on an already-bound variable (first
+		// the subdivision vertex of argument 1, then the tuple vertex,
+		// then the remaining subdivision vertices): logically identical to
+		// ∃t(P_R(t) ∧ ⋀_i ∃z(C_i(z) ∧ E(a_i,z) ∧ E(z,t))), but the
+		// evaluator's witness guards shrink every loop to a degree.
+		*fresh++
+		t := fo.Var(fmt.Sprintf("_t%d", *fresh))
+		conj := []fo.Formula{fo.HasColor{C: color, X: t}}
+		for i := 1; i < len(f.Args); i++ {
+			*fresh++
+			z := fo.Var(fmt.Sprintf("_z%d", *fresh))
+			conj = append(conj, fo.Exists{V: z, F: fo.AndOf(
+				fo.Edge{X: z, Y: t},
+				fo.HasColor{C: i, X: z},
+				fo.Edge{X: f.Args[i], Y: z},
+			)})
+		}
+		*fresh++
+		z1 := fo.Var(fmt.Sprintf("_z%d", *fresh))
+		return fo.Exists{V: z1, F: fo.AndOf(
+			fo.Edge{X: f.Args[0], Y: z1},
+			fo.HasColor{C: 0, X: z1},
+			fo.Exists{V: t, F: fo.AndOf(append([]fo.Formula{
+				fo.Edge{X: z1, Y: t}}, conj...)...)},
+		)}, nil
+	case fo.Not:
+		g, err := enc.translate(f.F, fresh)
+		if err != nil {
+			return nil, err
+		}
+		return fo.Not{F: g}, nil
+	case fo.And:
+		out := make([]fo.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			h, err := enc.translate(g, fresh)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = h
+		}
+		return fo.And{Fs: out}, nil
+	case fo.Or:
+		out := make([]fo.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			h, err := enc.translate(g, fresh)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = h
+		}
+		return fo.Or{Fs: out}, nil
+	case fo.Exists:
+		g, err := enc.translate(f.F, fresh)
+		if err != nil {
+			return nil, err
+		}
+		return fo.Exists{V: f.V, F: fo.AndOf(
+			fo.HasColor{C: enc.ElemColor, X: f.V}, g)}, nil
+	case fo.Forall:
+		g, err := enc.translate(f.F, fresh)
+		if err != nil {
+			return nil, err
+		}
+		return fo.Forall{V: f.V, F: fo.OrOf(
+			fo.Not{F: fo.HasColor{C: enc.ElemColor, X: f.V}}, g)}, nil
+	}
+	return nil, fmt.Errorf("rel: cannot translate %T", f)
+}
+
+// FreeVarGuard returns the conjunction of element-color guards for the
+// free variables of a translated query; solutions of the translated query
+// must be restricted to element vertices.
+func (enc *Encoding) FreeVarGuard(vars []fo.Var) fo.Formula {
+	var gs []fo.Formula
+	for _, v := range vars {
+		gs = append(gs, fo.HasColor{C: enc.ElemColor, X: v})
+	}
+	return fo.AndOf(gs...)
+}
+
+// TranslateQuery is the full Lemma 2.2 pipeline for a query with free
+// variables vars: translate and guard the free variables.
+func (enc *Encoding) TranslateQuery(phi fo.Formula, vars []fo.Var) (fo.Formula, error) {
+	psi, err := enc.Translate(phi)
+	if err != nil {
+		return nil, err
+	}
+	return fo.AndOf(enc.FreeVarGuard(vars), psi), nil
+}
+
+// Evaluator evaluates relational FO⁺ directly on a Structure — the oracle
+// side of Lemma 2.2. Distance atoms use the Gaifman graph of the structure.
+type Evaluator struct {
+	s   *Structure
+	gf  *graph.Graph // Gaifman graph
+	bfs *graph.BFS
+}
+
+// NewEvaluator builds the Gaifman graph and returns an evaluator.
+func NewEvaluator(s *Structure) *Evaluator {
+	b := graph.NewBuilder(s.n, 0)
+	for _, name := range s.names {
+		for _, tup := range s.tuples[name] {
+			for i := range tup {
+				for j := i + 1; j < len(tup); j++ {
+					if tup[i] != tup[j] {
+						b.AddEdge(tup[i], tup[j])
+					}
+				}
+			}
+		}
+	}
+	g := b.Build()
+	return &Evaluator{s: s, gf: g, bfs: graph.NewBFS(g)}
+}
+
+// Gaifman returns the Gaifman graph of the structure.
+func (e *Evaluator) Gaifman() *graph.Graph { return e.gf }
+
+// Eval reports whether D ⊨ f under env.
+func (e *Evaluator) Eval(f fo.Formula, env fo.Env) bool {
+	switch f := f.(type) {
+	case fo.Truth:
+		return f.Value
+	case fo.Eq:
+		return env[f.X] == env[f.Y]
+	case fo.DistLeq:
+		return e.bfs.Distance(env[f.X], env[f.Y], f.D) >= 0
+	case fo.Rel:
+		tup := make([]int, len(f.Args))
+		for i, a := range f.Args {
+			tup[i] = env[a]
+		}
+		return e.s.Holds(f.Name, tup)
+	case fo.Not:
+		return !e.Eval(f.F, env)
+	case fo.And:
+		for _, g := range f.Fs {
+			if !e.Eval(g, env) {
+				return false
+			}
+		}
+		return true
+	case fo.Or:
+		for _, g := range f.Fs {
+			if e.Eval(g, env) {
+				return true
+			}
+		}
+		return false
+	case fo.Exists:
+		old, had := env[f.V]
+		defer restoreEnv(env, f.V, old, had)
+		for v := 0; v < e.s.n; v++ {
+			env[f.V] = v
+			if e.Eval(f.F, env) {
+				return true
+			}
+		}
+		return false
+	case fo.Forall:
+		old, had := env[f.V]
+		defer restoreEnv(env, f.V, old, had)
+		for v := 0; v < e.s.n; v++ {
+			env[f.V] = v
+			if !e.Eval(f.F, env) {
+				return false
+			}
+		}
+		return true
+	}
+	panic(fmt.Sprintf("rel: cannot evaluate %T", f))
+}
+
+func restoreEnv(env fo.Env, v fo.Var, old int, had bool) {
+	if had {
+		env[v] = old
+	} else {
+		delete(env, v)
+	}
+}

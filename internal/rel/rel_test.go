@@ -1,0 +1,223 @@
+package rel
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fo"
+)
+
+// randomStructure builds a sparse two-relation database: a binary Edge-like
+// relation R and a unary mark relation U.
+func randomStructure(n int, seed int64) *Structure {
+	s := NewStructure(n)
+	s.AddRelation("R", 2)
+	s.AddRelation("U", 1)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2*n; i++ {
+		s.Insert("R", rng.Intn(n), rng.Intn(n))
+	}
+	for v := 0; v < n; v++ {
+		if rng.Float64() < 0.3 {
+			s.Insert("U", v)
+		}
+	}
+	return s
+}
+
+func TestAdjacencyGraphShape(t *testing.T) {
+	s := NewStructure(3)
+	s.AddRelation("R", 2)
+	s.Insert("R", 0, 1)
+	s.Insert("R", 1, 2)
+	enc := s.AdjacencyGraph()
+	// 3 elements + 2 tuple nodes + 4 subdivision nodes.
+	if enc.Graph.N() != 9 {
+		t.Fatalf("|A'(D)| = %d, want 9", enc.Graph.N())
+	}
+	// Each incidence contributes 2 edges.
+	if enc.Graph.M() != 8 {
+		t.Fatalf("‖edges‖ = %d, want 8", enc.Graph.M())
+	}
+	for v := 0; v < 3; v++ {
+		if !enc.Graph.HasColor(v, enc.ElemColor) {
+			t.Fatalf("element %d missing element color", v)
+		}
+	}
+}
+
+// TestLemma22 is the statement of Lemma 2.2: φ(D) = ψ(A′(D)) for every
+// query of the corpus, with solutions compared element-wise (element
+// vertices keep their ids in A′(D)).
+func TestLemma22(t *testing.T) {
+	queries := []struct {
+		src  string
+		vars []fo.Var
+	}{
+		{"R(x,y)", []fo.Var{"x", "y"}},
+		{"R(x,y) & U(x)", []fo.Var{"x", "y"}},
+		{"exists z (R(x,z) & R(z,y))", []fo.Var{"x", "y"}},
+		{"~(R(x,y)) & U(y)", []fo.Var{"x", "y"}},
+		{"forall z (~(R(x,z)) | U(z))", []fo.Var{"x"}},
+		{"U(x) & exists z R(z,x)", []fo.Var{"x"}},
+		{"x = y | R(x,y)", []fo.Var{"x", "y"}},
+	}
+	s := randomStructure(12, 7)
+	enc := s.AdjacencyGraph()
+	dev := NewEvaluator(s)
+	gev := fo.NewEvaluator(enc.Graph)
+	for _, tc := range queries {
+		phi := fo.MustParse(tc.src)
+		psi, err := enc.TranslateQuery(phi, tc.vars)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		// Compare over all element tuples.
+		k := len(tc.vars)
+		tuple := make([]int, k)
+		var rec func(i int)
+		var fail string
+		rec = func(i int) {
+			if fail != "" {
+				return
+			}
+			if i == k {
+				env := fo.Env{}
+				for j, v := range tc.vars {
+					env[v] = tuple[j]
+				}
+				want := dev.Eval(phi, env)
+				got := gev.Eval(psi, env)
+				if got != want {
+					fail = tc.src
+					t.Errorf("%s at %v: graph says %v, structure says %v", tc.src, tuple, got, want)
+				}
+				return
+			}
+			for v := 0; v < s.N(); v++ {
+				tuple[i] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+}
+
+// TestLemma22NonElementVertices: translated queries must never accept
+// tuple or subdivision vertices as solutions.
+func TestLemma22NonElementVertices(t *testing.T) {
+	s := randomStructure(8, 3)
+	enc := s.AdjacencyGraph()
+	gev := fo.NewEvaluator(enc.Graph)
+	psi, err := enc.TranslateQuery(fo.MustParse("R(x,y)"), []fo.Var{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := s.N(); v < enc.Graph.N(); v++ {
+		if gev.Eval(psi, fo.Env{"x": v, "y": 0}) {
+			t.Fatalf("non-element vertex %d accepted as a solution", v)
+		}
+	}
+}
+
+// TestDistanceScaling: dist_D(a,b) ≤ d iff dist_{A′(D)}(a,b) ≤ 4d.
+func TestDistanceScaling(t *testing.T) {
+	s := NewStructure(5)
+	s.AddRelation("R", 2)
+	s.Insert("R", 0, 1)
+	s.Insert("R", 1, 2)
+	s.Insert("R", 2, 3)
+	enc := s.AdjacencyGraph()
+	dev := NewEvaluator(s)
+	gev := fo.NewEvaluator(enc.Graph)
+	for d := 0; d <= 4; d++ {
+		phi := fo.DistLeq{X: "x", Y: "y", D: d}
+		psi, err := enc.Translate(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 5; a++ {
+			for b := 0; b < 5; b++ {
+				env := fo.Env{"x": a, "y": b}
+				if got, want := gev.Eval(psi, env), dev.Eval(phi, env); got != want {
+					t.Fatalf("d=%d (%d,%d): graph %v, structure %v", d, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStructureBasics(t *testing.T) {
+	s := NewStructure(4)
+	s.AddRelation("R", 2)
+	s.Insert("R", 0, 1)
+	s.Insert("R", 0, 1) // duplicate
+	if len(s.Tuples("R")) != 1 {
+		t.Fatal("duplicate tuple not ignored")
+	}
+	if !s.Holds("R", []int{0, 1}) || s.Holds("R", []int{1, 0}) {
+		t.Fatal("Holds mismatch")
+	}
+	if s.MaxArity() != 2 {
+		t.Fatal("MaxArity mismatch")
+	}
+}
+
+func TestRelIORoundTrip(t *testing.T) {
+	s := randomStructure(15, 11)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() != s.N() {
+		t.Fatalf("domain %d vs %d", s2.N(), s.N())
+	}
+	for _, name := range s.Relations() {
+		if len(s2.Tuples(name)) != len(s.Tuples(name)) {
+			t.Fatalf("%s: %d vs %d tuples", name, len(s2.Tuples(name)), len(s.Tuples(name)))
+		}
+		for _, tup := range s.Tuples(name) {
+			if !s2.Holds(name, tup) {
+				t.Fatalf("%s: lost tuple %v", name, tup)
+			}
+		}
+	}
+}
+
+func TestRelReadErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"t R 0 1",
+		"db x",
+		"db 3\nt R 0 1",
+		"db 3\nrel R 2\nt R 0",
+		"db 3\nrel R 2\nt R 0 9",
+		"db 3\nbogus",
+		"db 3\ndb 3",
+	} {
+		if _, err := Read(bytes.NewBufferString(src)); err == nil {
+			t.Errorf("Read(%q): expected error", src)
+		}
+	}
+}
+
+func TestGaifmanGraph(t *testing.T) {
+	s := NewStructure(4)
+	s.AddRelation("T", 3)
+	s.Insert("T", 0, 1, 2)
+	ev := NewEvaluator(s)
+	g := ev.Gaifman()
+	for _, pair := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("Gaifman edge %v missing", pair)
+		}
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("spurious Gaifman edge")
+	}
+}

@@ -1,0 +1,286 @@
+// Package skip implements the skip pointers of Lemma 5.8: after a
+// pseudo-linear preprocessing over a neighborhood cover 𝒳 with r-kernels
+// and a vertex list L, queries
+//
+//	SKIP(b, S) = min{ b′ ∈ L : b′ ≥ b and b′ ∉ ∪_{X∈S} K_r(X) }
+//
+// for any set S of at most k bags are answered in constant time.
+//
+// Following the paper, only the pointers for the inductively defined
+// families SC(b) are materialized: SC(b) starts from the singletons {X}
+// with b ∈ K_r(X) and is closed under S ↦ S ∪ {X} whenever |S| < k and
+// SKIP(b, S) ∈ K_r(X). The pointers are computed for b from largest to
+// smallest; an arbitrary query (b, S) is resolved by the constant-length
+// pointer chase of Claim 5.9.
+package skip
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// MaxSetSize is the largest supported |S| (the k of Lemma 5.8). Queries of
+// arity up to MaxSetSize+1 are enough for all shipped examples and
+// benchmarks; raise the array size below to extend it.
+const MaxSetSize = 4
+
+// entry is one materialized pointer: the sorted bag set S (padded with -1)
+// and SKIP(b, S) (-1 encodes Null).
+type entry struct {
+	bags [MaxSetSize]int32
+	val  int32
+}
+
+// Pointers answers SKIP queries for one (cover, kernel radius, L) triple.
+type Pointers struct {
+	cov *cover.Cover
+	k   int // maximum |S|
+
+	sortedL  []graph.V
+	inL      []bool
+	nextGeqL []int32 // per vertex: min{x ∈ L : x ≥ v}, n entries; -1 = none
+
+	// table[b] holds the pointers for all S ∈ SC(b). The families are
+	// small (≤ δ(𝒳)^k), so lookups scan the slice — faster and leaner
+	// than hashing the composite key.
+	table [][]entry
+	size  int
+}
+
+// None is returned by Query when no element qualifies.
+const None = graph.V(-1)
+
+// New computes the skip pointers. The cover must have kernels computed
+// (cov.ComputeKernels); k ≤ MaxSetSize bounds the query set size; L is the
+// restriction list (any order, duplicates allowed).
+func New(g *graph.Graph, cov *cover.Cover, k int, L []graph.V) *Pointers {
+	if k < 1 || k > MaxSetSize {
+		panic(fmt.Sprintf("skip: set size %d outside [1, %d]", k, MaxSetSize))
+	}
+	if cov.KernelP() < 0 {
+		panic("skip: cover kernels not computed")
+	}
+	p := &Pointers{cov: cov, k: k, table: make([][]entry, g.N())}
+	p.buildL(g.N(), L)
+
+	// Downward sweep: for each b from large to small, generate SC(b)
+	// breadth-first by set size and record SKIP(b, S) for each member.
+	// Per-vertex entry lists are kept sorted so resolve can binary-search.
+	var queue [][MaxSetSize]int32
+	seen := map[[MaxSetSize]int32]struct{}{}
+	for b := g.N() - 1; b >= 0; b-- {
+		kernels := cov.KernelsOf(b)
+		if len(kernels) == 0 {
+			continue
+		}
+		queue = queue[:0]
+		clear(seen)
+		for _, x := range kernels {
+			var s [MaxSetSize]int32
+			s[0] = x
+			for i := 1; i < MaxSetSize; i++ {
+				s[i] = -1
+			}
+			queue = append(queue, s)
+			seen[s] = struct{}{}
+		}
+		for head := 0; head < len(queue); head++ {
+			s := queue[head]
+			v := p.resolve(b, s[:setLen(s)])
+			p.table[b] = append(p.table[b], entry{bags: s, val: int32(v)})
+			p.size++
+			if v == None {
+				continue
+			}
+			if sl := setLen(s); sl < p.k {
+				for _, y := range cov.KernelsOf(v) {
+					ns, ok := setAdd(s, y)
+					if !ok {
+						continue
+					}
+					if _, dup := seen[ns]; dup {
+						continue
+					}
+					seen[ns] = struct{}{}
+					queue = append(queue, ns)
+				}
+			}
+		}
+		sort.Slice(p.table[b], func(i, j int) bool {
+			return bagsLess(p.table[b][i].bags, p.table[b][j].bags)
+		})
+	}
+	return p
+}
+
+func bagsLess(a, b [MaxSetSize]int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// lookup finds the stored SKIP(c, s), which must exist for s ∈ SC(c).
+func (p *Pointers) lookup(c int32, s [MaxSetSize]int32) (int32, bool) {
+	es := p.table[c]
+	i := sort.Search(len(es), func(i int) bool { return !bagsLess(es[i].bags, s) })
+	if i < len(es) && es[i].bags == s {
+		return es[i].val, true
+	}
+	return 0, false
+}
+
+func (p *Pointers) buildL(n int, L []graph.V) {
+	p.inL = make([]bool, n)
+	for _, v := range L {
+		p.inL[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if p.inL[v] {
+			p.sortedL = append(p.sortedL, v)
+		}
+	}
+	p.nextGeqL = make([]int32, n)
+	next := int32(-1)
+	for v := n - 1; v >= 0; v-- {
+		if p.inL[v] {
+			next = int32(v)
+		}
+		p.nextGeqL[v] = next
+	}
+}
+
+// L returns the sorted restriction list.
+func (p *Pointers) L() []graph.V { return p.sortedL }
+
+// Size returns the number of materialized pointers (the Σ_b |SC(b)| of
+// Claim 5.10).
+func (p *Pointers) Size() int { return p.size }
+
+// Query returns SKIP(b, S) in constant time, or None. S may be in any
+// order and must contain at most k bag indices.
+func (p *Pointers) Query(b graph.V, S []int) graph.V {
+	if len(S) > p.k {
+		panic(fmt.Sprintf("skip: |S| = %d exceeds k = %d", len(S), p.k))
+	}
+	bags := make([]int32, len(S))
+	for i, x := range S {
+		bags[i] = int32(x)
+	}
+	sort.Slice(bags, func(i, j int) bool { return bags[i] < bags[j] })
+	return p.resolve(b, bags)
+}
+
+// resolve implements Claim 5.9: it answers SKIP(b, S) using only pointers
+// stored for vertices > b (during preprocessing) or any vertices (at query
+// time, when the table is complete).
+func (p *Pointers) resolve(b graph.V, S []int32) graph.V {
+	// Case 1: b itself qualifies.
+	if b < len(p.inL) && p.inL[b] && !p.inKernels(b, S) {
+		return b
+	}
+	// Case 2: hop to the next element of L strictly after b.
+	if b+1 >= len(p.nextGeqL) {
+		return None
+	}
+	c := p.nextGeqL[b+1]
+	if c < 0 {
+		return None
+	}
+	if !p.inKernels(int(c), S) {
+		return int(c)
+	}
+	// c sits in some kernel of S; chase the stored pointers, growing S′
+	// maximally (each growth step is justified by the SC closure rule).
+	var sp [MaxSetSize]int32
+	for i := range sp {
+		sp[i] = -1
+	}
+	// Seed with one bag of S whose kernel contains c.
+	seeded := false
+	for _, x := range S {
+		if p.cov.InKernel(int(x), int(c)) {
+			sp[0] = x
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		panic("skip: inKernels inconsistent")
+	}
+	for {
+		v, ok := p.lookup(c, sp)
+		if !ok {
+			panic(fmt.Sprintf("skip: missing pointer for (%d, %v)", c, sp))
+		}
+		if v < 0 {
+			return None
+		}
+		grown := false
+		if setLen(sp) < len(S) {
+			for _, y := range S {
+				if setHas(sp, y) {
+					continue
+				}
+				if p.cov.InKernel(int(y), int(v)) {
+					sp, _ = setAdd(sp, y)
+					grown = true
+					break
+				}
+			}
+		}
+		if !grown {
+			return int(v)
+		}
+	}
+}
+
+func (p *Pointers) inKernels(v graph.V, S []int32) bool {
+	for _, x := range S {
+		if p.cov.InKernel(int(x), v) {
+			return true
+		}
+	}
+	return false
+}
+
+// setLen returns the number of used entries of a padded sorted set.
+func setLen(s [MaxSetSize]int32) int {
+	n := 0
+	for _, x := range s {
+		if x >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func setHas(s [MaxSetSize]int32, y int32) bool {
+	for _, x := range s {
+		if x == y {
+			return true
+		}
+	}
+	return false
+}
+
+// setAdd inserts y keeping the used prefix sorted; ok=false if full or
+// already present.
+func setAdd(s [MaxSetSize]int32, y int32) ([MaxSetSize]int32, bool) {
+	n := setLen(s)
+	if n == MaxSetSize || setHas(s, y) {
+		return s, false
+	}
+	i := n
+	for i > 0 && s[i-1] > y {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = y
+	return s, true
+}

@@ -1,0 +1,553 @@
+// Package store implements the Storing Theorem (Theorem 3.1) of the paper:
+// a data structure holding a k-ary partial function f with domain ⊆ [n]^k
+// that supports
+//
+//   - initialization in O(|Dom(f)|·n^ε),
+//   - insertion and removal of a pair (ā, b) in O(n^ε),
+//   - constant-time lookup which, for ā ∉ Dom(f), additionally returns the
+//     successor min{x̄ ∈ Dom(f) : x̄ > ā},
+//
+// using O(|Dom(f)|·n^ε) registers at any point in time.
+//
+// The implementation follows Appendix 7 of the paper at the register level:
+// the trie T(f) of depth k·h and degree d (d = ⌈n^ε⌉, h minimal with
+// d^h ≥ n) is laid out as blocks of d+1 consecutive registers, each holding
+// a pair (δ, r) with δ ∈ {−1, 0, 1}: child pointers (1, R′), leaf values
+// (1, f(ā)) at the bottom level, successor pointers (0, b̄) for absent
+// subtrees, and a parent backpointer (−1, R) in the last register of each
+// block. Register 0 plays the role of the paper's R_0 (next free register).
+// Removal compacts storage by moving the last block into the hole, exactly
+// as the paper's Cut procedure.
+//
+// The paper obtains predecessors from a dual structure on the reversed
+// order; we instead compute predecessors by a single O(d·k·h) downward walk
+// in the primary structure. Predecessors are only needed inside updates, so
+// this keeps the update bound O(n^ε) without doubling the space.
+package store
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is one register: a pair (Delta, R) as in Figure 1 of the paper.
+// Delta = 1: R is a child block start, or the stored value at the bottom
+// level. Delta = 0: the subtree is absent and R is the encoded successor
+// key (or -1 for Null). Delta = -1: R is the register in the parent block
+// pointing to this block.
+type Cell struct {
+	Delta int8
+	R     int64
+}
+
+// Store is the Storing-Theorem structure for one k-ary partial function.
+// It is not safe for concurrent mutation.
+type Store struct {
+	n  int // universe size: coordinates range over [0, n)
+	k  int // arity
+	d  int // trie degree, ⌈n^ε⌉ (at least 2)
+	h  int // digits per coordinate, minimal with d^h ≥ n
+	kh int // total depth
+
+	cells []Cell // register file; index 0 unused (R_0 is nextFree)
+	free  int64  // R_0: next unused register
+	size  int    // |Dom(f)|
+
+	// scratch buffers (avoid allocation on the hot paths)
+	dig1, dig2 []int
+}
+
+// New returns an empty store for k-ary functions over [0,n)^k with trie
+// parameter ε. It panics if n^k does not fit in an int64 key (the RAM-model
+// assumption of the paper: tuples fit in O(1) registers).
+func New(n, k int, epsilon float64) *Store {
+	if n < 1 || k < 1 {
+		panic(fmt.Sprintf("store: invalid n=%d k=%d", n, k))
+	}
+	if epsilon <= 0 {
+		panic("store: epsilon must be positive")
+	}
+	if float64(k)*math.Log2(float64(n)) >= 62 {
+		panic(fmt.Sprintf("store: key space n^k too large (n=%d, k=%d)", n, k))
+	}
+	d := int(math.Ceil(math.Pow(float64(n), epsilon)))
+	if d < 2 {
+		d = 2
+	}
+	if d > n {
+		d = n
+		if d < 2 {
+			d = 2
+		}
+	}
+	h := 1
+	for p := d; p < n; p *= d {
+		h++
+	}
+	s := &Store{
+		n: n, k: k, d: d, h: h, kh: k * h,
+		dig1: make([]int, k*h),
+		dig2: make([]int, k*h),
+	}
+	s.init()
+	return s
+}
+
+func (s *Store) init() {
+	// Root block occupies registers 1..d+1 (paper's Init).
+	s.cells = make([]Cell, 1, 1+(s.d+1)*4)
+	for j := 0; j < s.d; j++ {
+		s.cells = append(s.cells, Cell{0, nullKey})
+	}
+	s.cells = append(s.cells, Cell{-1, 0})
+	s.free = int64(len(s.cells))
+	s.size = 0
+}
+
+const nullKey = int64(-1)
+
+// N returns the universe size n.
+func (s *Store) N() int { return s.n }
+
+// K returns the arity k.
+func (s *Store) K() int { return s.k }
+
+// Degree returns the trie degree d = ⌈n^ε⌉.
+func (s *Store) Degree() int { return s.d }
+
+// Depth returns the trie depth k·h.
+func (s *Store) Depth() int { return s.kh }
+
+// Len returns |Dom(f)|.
+func (s *Store) Len() int { return s.size }
+
+// Registers returns the number of registers currently in use, the space
+// measure of Theorem 3.1.
+func (s *Store) Registers() int { return int(s.free) }
+
+// Cells exposes the raw register file (index 0 unused). It is used by the
+// Figure-1 reproduction test and by space accounting; callers must not
+// modify it.
+func (s *Store) Cells() []Cell { return s.cells[:s.free] }
+
+// EncodeKey packs a tuple into its integer key Σ a_i·n^{k−1−i}. Keys order
+// exactly as tuples do lexicographically.
+func (s *Store) EncodeKey(a []int) int64 {
+	if len(a) != s.k {
+		panic(fmt.Sprintf("store: tuple arity %d, want %d", len(a), s.k))
+	}
+	key := int64(0)
+	for _, x := range a {
+		if x < 0 || x >= s.n {
+			panic(fmt.Sprintf("store: coordinate %d out of [0,%d)", x, s.n))
+		}
+		key = key*int64(s.n) + int64(x)
+	}
+	return key
+}
+
+// DecodeKey unpacks an integer key into a tuple.
+func (s *Store) DecodeKey(key int64) []int {
+	a := make([]int, s.k)
+	for i := s.k - 1; i >= 0; i-- {
+		a[i] = int(key % int64(s.n))
+		key /= int64(s.n)
+	}
+	return a
+}
+
+// decompose writes the base-d digit string of the tuple with integer key
+// `key` into out (coordinate-wise, most significant digit first), the
+// Decomposition procedure of Algorithm 1.
+func (s *Store) decompose(key int64, out []int) {
+	a := key
+	// Extract coordinates (least significant first), then digits.
+	for i := s.k - 1; i >= 0; i-- {
+		x := int(a % int64(s.n))
+		a /= int64(s.n)
+		base := i * s.h
+		for j := s.h - 1; j >= 0; j-- {
+			out[base+j] = x % s.d
+			x /= s.d
+		}
+	}
+}
+
+// maxKey is the largest valid key, n^k − 1.
+func (s *Store) maxKey() int64 {
+	m := int64(1)
+	for i := 0; i < s.k; i++ {
+		m *= int64(s.n)
+	}
+	return m - 1
+}
+
+// access performs the Access procedure of Algorithm 2: it follows the
+// search path of key. It returns (true, value, 0) if key ∈ Dom(f), and
+// (false, 0, succ) otherwise, where succ = min{x ∈ Dom : x > key} (or
+// nullKey).
+func (s *Store) access(key int64) (bool, int64, int64) {
+	s.decompose(key, s.dig1)
+	l := int64(1)
+	for i := 0; i < s.kh; i++ {
+		c := s.cells[l+int64(s.dig1[i])]
+		if c.Delta == 0 {
+			return false, 0, c.R
+		}
+		if i == s.kh-1 {
+			return true, c.R, 0
+		}
+		l = c.R
+	}
+	panic("store: unreachable")
+}
+
+// Get returns f(ā) if ā ∈ Dom(f).
+func (s *Store) Get(a []int) (int64, bool) {
+	found, v, _ := s.access(s.EncodeKey(a))
+	return v, found
+}
+
+// Lookup is the lookup of Theorem 3.1: if ā ∈ Dom(f) it returns its value;
+// otherwise it returns the successor min{x̄ ∈ Dom(f) : x̄ > ā}, or ok=false
+// if no such tuple exists.
+func (s *Store) Lookup(a []int) (value int64, found bool, succ []int, ok bool) {
+	f, v, sk := s.access(s.EncodeKey(a))
+	if f {
+		return v, true, nil, false
+	}
+	if sk == nullKey {
+		return 0, false, nil, false
+	}
+	return 0, false, s.DecodeKey(sk), true
+}
+
+// NextGeq returns the smallest tuple ā′ ∈ Dom(f) with ā′ ≥ ā together with
+// its value, or ok=false if none exists. This is the "smallest next
+// solution" primitive the enumeration algorithms are built on.
+func (s *Store) NextGeq(a []int) (key []int, value int64, ok bool) {
+	k := s.EncodeKey(a)
+	found, v, succ := s.access(k)
+	if found {
+		return append([]int(nil), a...), v, true
+	}
+	if succ == nullKey {
+		return nil, 0, false
+	}
+	f2, v2, _ := s.access(succ)
+	if !f2 {
+		panic("store: successor pointer stale")
+	}
+	return s.DecodeKey(succ), v2, true
+}
+
+// NextGt returns the smallest tuple strictly greater than ā in Dom(f).
+func (s *Store) NextGt(a []int) (key []int, value int64, ok bool) {
+	k := s.EncodeKey(a)
+	if k == s.maxKey() {
+		return nil, 0, false
+	}
+	return s.NextGeq(s.DecodeKey(k + 1))
+}
+
+// Min returns the smallest tuple of Dom(f), or ok=false if f is empty.
+func (s *Store) Min() (key []int, value int64, ok bool) {
+	return s.NextGeq(make([]int, s.k))
+}
+
+// predecessor returns max{x ∈ Dom : x < key}, or nullKey, by a downward
+// walk recording, at every level of the search path, the largest present
+// sibling subtree to the left, then descending its rightmost branch.
+func (s *Store) predecessor(key int64) int64 {
+	s.decompose(key, s.dig1)
+	l := int64(1)
+	bestBlock := int64(-1)
+	bestDigit := -1
+	bestLevel := -1
+	for i := 0; i < s.kh; i++ {
+		for c := s.dig1[i] - 1; c >= 0; c-- {
+			if s.cells[l+int64(c)].Delta == 1 {
+				bestBlock, bestDigit, bestLevel = l, c, i
+				break
+			}
+		}
+		cell := s.cells[l+int64(s.dig1[i])]
+		if cell.Delta != 1 || i == s.kh-1 {
+			break
+		}
+		l = cell.R
+	}
+	if bestLevel < 0 {
+		return nullKey
+	}
+	// Reconstruct the predecessor's digits: the search-path prefix, the
+	// chosen smaller digit, then always the largest present child.
+	digs := s.dig2
+	copy(digs, s.dig1[:bestLevel])
+	digs[bestLevel] = bestDigit
+	l = bestBlock
+	for i := bestLevel; i < s.kh-1; i++ {
+		l = s.cells[l+int64(digs[i])].R
+		found := false
+		for c := s.d - 1; c >= 0; c-- {
+			if s.cells[l+int64(c)].Delta == 1 {
+				digs[i+1] = c
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic("store: empty block reached during predecessor walk")
+		}
+	}
+	return s.composeDigits(digs)
+}
+
+// composeDigits is the inverse of decompose.
+func (s *Store) composeDigits(digs []int) int64 {
+	key := int64(0)
+	for i := 0; i < s.k; i++ {
+		x := 0
+		for j := 0; j < s.h; j++ {
+			x = x*s.d + digs[i*s.h+j]
+		}
+		key = key*int64(s.n) + int64(x)
+	}
+	return key
+}
+
+// successorStrict returns min{x ∈ Dom : x > key}, or nullKey.
+func (s *Store) successorStrict(key int64) int64 {
+	if key >= s.maxKey() {
+		return nullKey
+	}
+	found, _, succ := s.access(key + 1)
+	if found {
+		return key + 1
+	}
+	return succ
+}
+
+// Set inserts (ā, value) into f, or updates the value if ā ∈ Dom(f).
+// This is the Add procedure of Algorithm 4.
+func (s *Store) Set(a []int, value int64) {
+	key := s.EncodeKey(a)
+	if found, _, _ := s.access(key); found {
+		// Pure value update: rewalk and overwrite the leaf register.
+		s.decompose(key, s.dig1)
+		l := int64(1)
+		for i := 0; i < s.kh-1; i++ {
+			l = s.cells[l+int64(s.dig1[i])].R
+		}
+		s.cells[l+int64(s.dig1[s.kh-1])] = Cell{1, value}
+		return
+	}
+	pred := s.predecessor(key)
+	succ := s.successorStrict(key)
+
+	// Insert (Algorithm 5): create the path top-down.
+	s.decompose(key, s.dig1)
+	l := int64(1)
+	for i := 0; i < s.kh-1; i++ {
+		reg := l + int64(s.dig1[i])
+		if s.cells[reg].Delta == 1 {
+			l = s.cells[reg].R
+			continue
+		}
+		nf := s.free
+		s.cells[reg] = Cell{1, nf}
+		for j := 0; j < s.d; j++ {
+			s.cells = append(s.cells, Cell{0, 0}) // fixed by Clean below
+		}
+		s.cells = append(s.cells, Cell{-1, reg})
+		s.free = int64(len(s.cells))
+		l = nf
+	}
+	s.cells[l+int64(s.dig1[s.kh-1])] = Cell{1, value}
+	s.size++
+
+	s.clean(pred, key)
+	s.clean(key, succ)
+}
+
+// Delete removes ā from Dom(f); it is a no-op if ā ∉ Dom(f). This is the
+// Remove procedure of Algorithm 10.
+func (s *Store) Delete(a []int) {
+	key := s.EncodeKey(a)
+	if found, _, _ := s.access(key); !found {
+		return
+	}
+	pred := s.predecessor(key)
+	succ := s.successorStrict(key)
+
+	s.decompose(key, s.dig1)
+	l := int64(1)
+	for i := 0; i < s.kh-1; i++ {
+		l = s.cells[l+int64(s.dig1[i])].R
+	}
+	s.cells[l+int64(s.dig1[s.kh-1])] = Cell{0, succ}
+	s.size--
+
+	s.cut(l)
+	s.clean(pred, succ)
+}
+
+// cut implements Algorithm 12: if the block starting at register l contains
+// no present children it is removed, the last block of the register file is
+// moved into the hole, pointers are patched, and the parent block is
+// examined in turn.
+func (s *Store) cut(l int64) {
+	for {
+		if l == 1 {
+			return // never remove the root block
+		}
+		for c := 0; c < s.d; c++ {
+			if s.cells[l+int64(c)].Delta == 1 {
+				return // block still carries domain elements
+			}
+		}
+		parentReg := s.cells[l+int64(s.d)].R
+		s.cells[parentReg] = Cell{0, 0} // corrected later by Clean
+
+		lastStart := s.free - int64(s.d+1)
+		if lastStart != l {
+			movedDepth := s.blockDepth(lastStart)
+			copy(s.cells[l:l+int64(s.d)+1], s.cells[lastStart:s.free])
+			// Patch the parent's child pointer to the moved block.
+			pr := s.cells[l+int64(s.d)].R
+			s.cells[pr] = Cell{1, l}
+			// Patch the children's backpointers (only real child blocks;
+			// at the bottom level the (1, r) cells hold values).
+			if movedDepth < s.kh-1 {
+				for c := 0; c < s.d; c++ {
+					if s.cells[l+int64(c)].Delta == 1 {
+						child := s.cells[l+int64(c)].R
+						s.cells[child+int64(s.d)] = Cell{-1, l + int64(c)}
+					}
+				}
+			}
+			if s.blockStart(parentReg) == lastStart {
+				// The parent block itself was the block we just moved.
+				parentReg = l + (parentReg - lastStart)
+			}
+		}
+		s.cells = s.cells[:lastStart]
+		s.free = lastStart
+
+		l = s.blockStart(parentReg)
+	}
+}
+
+// blockStart returns the first register of the block containing register r.
+// All blocks have size d+1 and are allocated contiguously from register 1.
+func (s *Store) blockStart(r int64) int64 {
+	return (r-1)/int64(s.d+1)*int64(s.d+1) + 1
+}
+
+// blockDepth returns the depth of the block starting at register l by
+// walking parent backpointers up to the root.
+func (s *Store) blockDepth(l int64) int {
+	depth := 0
+	for l != 1 {
+		parentReg := s.cells[l+int64(s.d)].R
+		l = s.blockStart(parentReg)
+		depth++
+	}
+	return depth
+}
+
+// clean implements Algorithm 6: every register of the form (0, x) lying
+// strictly between the search paths of k1 and k2 is rewritten to (0, k2).
+// k1 = nullKey means "from the beginning", k2 = nullKey means "to the end"
+// (rewriting to (0, Null)).
+func (s *Store) clean(k1, k2 int64) {
+	switch {
+	case k1 == nullKey && k2 == nullKey:
+		// Domain became empty: reset the root's children.
+		for c := 0; c < s.d; c++ {
+			s.cells[1+int64(c)] = Cell{0, nullKey}
+		}
+	case k1 == nullKey:
+		s.decompose(k2, s.dig2)
+		s.fillLeft(1, 0, k2)
+	case k2 == nullKey:
+		s.decompose(k1, s.dig1)
+		s.fillRight(1, 0, nullKey)
+	default:
+		s.decompose(k1, s.dig1)
+		s.decompose(k2, s.dig2)
+		s.fill(1, 0, k2)
+	}
+}
+
+// fillRight (Algorithm 7) rewrites, in the subtree rooted at block l of
+// depth i, every register to the right of the search path dig1 to (0, val).
+func (s *Store) fillRight(l int64, i int, val int64) {
+	for {
+		for c := s.dig1[i] + 1; c < s.d; c++ {
+			if s.cells[l+int64(c)].Delta == 0 {
+				s.cells[l+int64(c)] = Cell{0, val}
+			}
+		}
+		if i >= s.kh-1 {
+			return
+		}
+		cell := s.cells[l+int64(s.dig1[i])]
+		if cell.Delta != 1 {
+			return
+		}
+		l = cell.R
+		i++
+	}
+}
+
+// fillLeft (Algorithm 8) rewrites every register to the left of the search
+// path dig2 to (0, val).
+func (s *Store) fillLeft(l int64, i int, val int64) {
+	for {
+		for c := 0; c < s.dig2[i]; c++ {
+			if s.cells[l+int64(c)].Delta == 0 {
+				s.cells[l+int64(c)] = Cell{0, val}
+			}
+		}
+		if i >= s.kh-1 {
+			return
+		}
+		cell := s.cells[l+int64(s.dig2[i])]
+		if cell.Delta != 1 {
+			return
+		}
+		l = cell.R
+		i++
+	}
+}
+
+// fill (Algorithm 9) descends the common prefix of the two paths, rewrites
+// the registers strictly between them at the divergence level, and then
+// fills rightwards along path 1 and leftwards along path 2.
+func (s *Store) fill(l int64, i int, val int64) {
+	for i < s.kh && s.dig1[i] == s.dig2[i] {
+		cell := s.cells[l+int64(s.dig1[i])]
+		if cell.Delta != 1 || i == s.kh-1 {
+			return
+		}
+		l = cell.R
+		i++
+	}
+	if i >= s.kh {
+		return
+	}
+	for c := s.dig1[i] + 1; c < s.dig2[i]; c++ {
+		if s.cells[l+int64(c)].Delta == 0 {
+			s.cells[l+int64(c)] = Cell{0, val}
+		}
+	}
+	if i < s.kh-1 {
+		if c1 := s.cells[l+int64(s.dig1[i])]; c1.Delta == 1 {
+			s.fillRight(c1.R, i+1, val)
+		}
+		if c2 := s.cells[l+int64(s.dig2[i])]; c2.Delta == 1 {
+			s.fillLeft(c2.R, i+1, val)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package wcol
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteWReach computes WReach counts directly from the definition: for
+// every pair (a, b) check whether some path of length ≤ r connects them
+// with b strictly smallest on the path.
+func bruteWReach(g *graph.Graph, order []graph.V, r int) []int {
+	n := g.N()
+	rank := make([]int, n)
+	for i, v := range order {
+		rank[v] = i
+	}
+	counts := make([]int, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if pathExists(g, rank, a, b, r) {
+				counts[a]++
+			}
+		}
+	}
+	return counts
+}
+
+// pathExists checks for a path a→b of length ≤ r whose vertices other
+// than b all have rank > rank[b] (a included).
+func pathExists(g *graph.Graph, rank []int, a, b graph.V, r int) bool {
+	if rank[a] <= rank[b] {
+		return false
+	}
+	// BFS from b restricted to vertices of rank > rank[b].
+	seen := map[graph.V]int{b: 0}
+	queue := []graph.V{b}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if seen[v] >= r {
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if _, ok := seen[int(w)]; ok || rank[w] <= rank[b] {
+				continue
+			}
+			seen[int(w)] = seen[v] + 1
+			queue = append(queue, int(w))
+		}
+	}
+	_, ok := seen[a]
+	return ok
+}
+
+func TestWReachAgainstBruteForce(t *testing.T) {
+	for _, class := range []gen.Class{gen.Path, gen.Star, gen.Grid, gen.RandomTree, gen.SparseRandom} {
+		g := gen.Generate(class, 60, gen.Options{Seed: 5})
+		order := DegeneracyOrder(g)
+		for _, r := range []int{1, 2, 3} {
+			got := WReachCounts(g, order, r)
+			want := bruteWReach(g, order, r)
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("%s r=%d vertex %d: %d vs brute %d", class, r, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestWReachRandomOrders(t *testing.T) {
+	g := gen.Generate(gen.KingGrid, 49, gen.Options{Seed: 2})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		order := make([]graph.V, g.N())
+		for i := range order {
+			order[i] = i
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		got := WReachCounts(g, order, 2)
+		want := bruteWReach(g, order, 2)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d vertex %d: %d vs %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDegeneracyOrderValid(t *testing.T) {
+	for _, class := range []gen.Class{gen.Path, gen.Grid, gen.Clique, gen.RandomTree} {
+		g := gen.Generate(class, 100, gen.Options{Seed: 3})
+		order := DegeneracyOrder(g)
+		seen := make([]bool, g.N())
+		for _, v := range order {
+			if seen[v] {
+				t.Fatalf("%s: vertex %d repeated", class, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestDegeneracyValues(t *testing.T) {
+	cases := []struct {
+		class gen.Class
+		n     int
+		want  int
+	}{
+		{gen.Path, 50, 1},
+		{gen.Star, 50, 1},
+		{gen.Cycle, 50, 2},
+		{gen.BalancedTree, 50, 1},
+		{gen.Grid, 49, 2},
+		{gen.Clique, 12, 11},
+	}
+	for _, c := range cases {
+		g := gen.Generate(c.class, c.n, gen.Options{})
+		if d := Degeneracy(g); d != c.want {
+			t.Errorf("%s: degeneracy %d, want %d", c.class, d, c.want)
+		}
+	}
+}
+
+// TestWColOnForests: under the smallest-last order, wcol_1 of a forest is
+// its degeneracy (1), and the star has wcol_r = 1 for all r (only the hub
+// is accessed).
+func TestWColOnForests(t *testing.T) {
+	star := gen.Generate(gen.Star, 100, gen.Options{})
+	order := DegeneracyOrder(star)
+	if w := WCol(star, order, 1); w != 1 {
+		t.Fatalf("star wcol_1 = %d, want 1", w)
+	}
+	// For r ≥ 2 every leaf also weakly reaches the smallest leaf through
+	// the hub, so wcol_r = 2 — still a constant, as bounded expansion
+	// demands.
+	for r := 2; r <= 3; r++ {
+		if w := WCol(star, order, r); w != 2 {
+			t.Fatalf("star wcol_%d = %d, want 2", r, w)
+		}
+	}
+	tree := gen.Generate(gen.RandomTree, 200, gen.Options{Seed: 4})
+	order = DegeneracyOrder(tree)
+	if w := WCol(tree, order, 1); w != 1 {
+		t.Fatalf("tree wcol_1 = %d, want 1", w)
+	}
+}
+
+// TestWColSeparatesSparseFromDense: the paper's §2 characterization in
+// miniature — wcol_2 stays small on nowhere dense classes and explodes on
+// the dense control.
+func TestWColSeparatesSparseFromDense(t *testing.T) {
+	n := 400
+	sparseMax := 0
+	for _, class := range []gen.Class{gen.Path, gen.Grid, gen.KingGrid, gen.BalancedTree} {
+		g := gen.Generate(class, n, gen.Options{Seed: 6})
+		if w := WCol(g, DegeneracyOrder(g), 2); w > sparseMax {
+			sparseMax = w
+		}
+	}
+	dense := gen.Generate(gen.DenseRandom, n, gen.Options{Seed: 6})
+	wd := WCol(dense, DegeneracyOrder(dense), 2)
+	if wd <= 2*sparseMax {
+		t.Fatalf("dense wcol_2 = %d not well above sparse max %d", wd, sparseMax)
+	}
+}

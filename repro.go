@@ -1,0 +1,280 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Schweikardt, Segoufin, Vigny:
+//	“Enumeration for FO Queries over Nowhere Dense Graphs” (PODS 2018 /
+//	J. ACM 2022).
+//
+// It provides, for first-order queries with distance atoms (FO⁺) over
+// sparse (“nowhere dense”) colored graphs:
+//
+//   - an Index (Theorem 2.3) built in pseudo-linear time that returns the
+//     lexicographically smallest solution ≥ any given tuple in constant
+//     time,
+//   - constant-time solution Testing (Corollary 2.4),
+//   - constant-delay Enumeration of all solutions in lexicographic order
+//     (Corollary 2.5),
+//   - a DistanceIndex (Proposition 4.2) for constant-time dist(a,b) ≤ r
+//     tests,
+//   - the Storing-Theorem data structure (Theorem 3.1) as a reusable
+//     k-ary map with successor lookups,
+//   - relational databases and their colored-graph encoding (Lemma 2.2).
+//
+// Quickstart:
+//
+//	g := repro.Generate("grid", 10_000, repro.GenOptions{Colors: 1})
+//	q, _ := repro.ParseQuery("dist(x,y) > 2 & C0(y)", "x", "y")
+//	ix, _ := repro.BuildIndex(g, q)
+//	ix.Enumerate(func(sol []int) bool { fmt.Println(sol); return true })
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's complexity claims.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// Graph is a finite colored graph (a structure over the schema
+// {E, C_0, …, C_{c−1}}). Vertices are 0..N()-1; the vertex order is the
+// linear order underlying all lexicographic guarantees.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and colors; call Build to finalize.
+type GraphBuilder = graph.Builder
+
+// Database is a finite relational structure (Section 2 of the paper).
+type Database = rel.Structure
+
+// NewGraphBuilder returns a builder for a graph with n vertices and the
+// given number of color relations.
+func NewGraphBuilder(n, colors int) *GraphBuilder { return graph.NewBuilder(n, colors) }
+
+// NewDatabase returns an empty relational structure with an n-element
+// domain.
+func NewDatabase(n int) *Database { return rel.NewStructure(n) }
+
+// GenOptions forwards to the graph generators; see gen.Options.
+type GenOptions = gen.Options
+
+// Generate builds a named benchmark graph class ("path", "cycle", "star",
+// "caterpillar", "btree", "rtree", "grid", "kinggrid", "bdeg",
+// "sparserandom", and the dense controls "clique", "dense", "subclique").
+func Generate(class string, n int, opt GenOptions) *Graph {
+	return gen.Generate(gen.Class(class), n, opt)
+}
+
+// GraphClasses lists the available generator class names.
+func GraphClasses() []string {
+	out := make([]string, len(gen.Classes))
+	for i, c := range gen.Classes {
+		out[i] = string(c)
+	}
+	return out
+}
+
+// Query is a parsed FO⁺ query with an ordered tuple of free variables.
+type Query struct {
+	// Phi is the formula; Vars fixes the output-column order.
+	Phi  fo.Formula
+	Vars []fo.Var
+
+	compiled *core.LocalQuery
+}
+
+// ParseQuery parses a query in the textual language, e.g.
+//
+//	dist(x,y) > 2 & C0(y)
+//	exists z (E(x,z) & E(z,y)) | E(x,y) | x = y
+//
+// vars fixes the order of the output columns and must cover the free
+// variables of the formula.
+func ParseQuery(src string, vars ...string) (*Query, error) {
+	phi, err := fo.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]fo.Var, len(vars))
+	for i, v := range vars {
+		vs[i] = fo.Var(v)
+	}
+	return &Query{Phi: phi, Vars: vs}, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string, vars ...string) *Query {
+	q, err := ParseQuery(src, vars...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Arity returns the number of output columns.
+func (q *Query) Arity() int { return len(q.Vars) }
+
+// compile caches the decomposed normal form.
+func (q *Query) compile() (*core.LocalQuery, error) {
+	if q.compiled == nil {
+		lq, err := core.Compile(q.Phi, q.Vars, core.CompileOptions{})
+		if err != nil {
+			return nil, err
+		}
+		q.compiled = lq
+	}
+	return q.compiled, nil
+}
+
+// Index is the preprocessed structure of Theorem 2.3 for one graph and one
+// query. It is not safe for concurrent use.
+type Index struct {
+	e *core.Engine
+	k int
+}
+
+// BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3.
+func BuildIndex(g *Graph, q *Query) (*Index, error) {
+	lq, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.Preprocess(g, lq, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e: e, k: lq.K}, nil
+}
+
+// Next returns the lexicographically smallest solution ≥ tuple, in
+// constant time (Theorem 2.3), or ok=false if there is none.
+func (ix *Index) Next(tuple []int) ([]int, bool) { return ix.e.NextGeq(tuple) }
+
+// Test reports whether tuple is a solution, in constant time
+// (Corollary 2.4).
+func (ix *Index) Test(tuple []int) bool { return ix.e.Test(tuple) }
+
+// NextLast returns, for a fixed (k−1)-column prefix, the smallest value
+// b′ ≥ b completing it to a solution (Lemma 5.2) — "page through the
+// partners of a prefix" in constant time per step.
+func (ix *Index) NextLast(prefix []int, b int) (int, bool) { return ix.e.NextLast(prefix, b) }
+
+// Enumerate yields all solutions in increasing lexicographic order with
+// constant delay (Corollary 2.5) until exhaustion or until yield returns
+// false. The slice passed to yield is reused across calls.
+func (ix *Index) Enumerate(yield func([]int) bool) { ix.e.Enumerate(yield) }
+
+// Count returns the number of solutions by full enumeration.
+func (ix *Index) Count() int { return ix.e.Count() }
+
+// FastCount returns the number of solutions without enumerating them
+// (pseudo-linear counting, supported for arities 1 and 2); it falls back
+// to enumeration for higher arities.
+func (ix *Index) FastCount() int {
+	if n, ok := ix.e.FastCount(); ok {
+		return n
+	}
+	return ix.e.Count()
+}
+
+// Iterator is a pull-style cursor over the solution set in lexicographic
+// order with constant-delay Next and constant-time Seek (Theorem 2.3).
+type Iterator = core.Iterator
+
+// Iterator returns a cursor positioned at the first solution.
+func (ix *Index) Iterator() *Iterator { return ix.e.Iterator() }
+
+// IteratorFrom returns a cursor positioned at the smallest solution ≥ a.
+func (ix *Index) IteratorFrom(a []int) *Iterator { return ix.e.IteratorFrom(a) }
+
+// Arity returns the tuple width of the indexed query.
+func (ix *Index) Arity() int { return ix.k }
+
+// Stats exposes preprocessing and answering statistics.
+func (ix *Index) Stats() core.Stats { return ix.e.Stats() }
+
+// Explain renders the index structure (clauses, starter lists, covers) —
+// the EXPLAIN output for the preprocessed query.
+func (ix *Index) Explain() string { return ix.e.Explain() }
+
+// Plan renders the compiled decomposed normal form of the query without
+// building an index.
+func (q *Query) Plan() (string, error) {
+	lq, err := q.compile()
+	if err != nil {
+		return "", err
+	}
+	return lq.String(), nil
+}
+
+// DistanceIndex answers dist(a,b) ≤ r queries in constant time after
+// pseudo-linear preprocessing (Proposition 4.2).
+type DistanceIndex struct {
+	ix *dist.Index
+}
+
+// BuildDistanceIndex preprocesses g for distance queries up to radius r.
+func BuildDistanceIndex(g *Graph, r int) *DistanceIndex {
+	return &DistanceIndex{ix: dist.New(g, r, dist.Options{})}
+}
+
+// Within reports whether dist(a, b) ≤ rr, for any rr up to the index
+// radius.
+func (d *DistanceIndex) Within(a, b, rr int) bool { return d.ix.Within(a, b, rr) }
+
+// Radius returns the maximum supported query radius.
+func (d *DistanceIndex) Radius() int { return d.ix.Radius() }
+
+// Map is the Storing-Theorem structure (Theorem 3.1): a k-ary partial map
+// over [0,n)^k with constant-time lookup and successor search and O(n^ε)
+// updates.
+type Map = store.Store
+
+// NewMap returns an empty Storing-Theorem map.
+func NewMap(n, k int, epsilon float64) *Map { return store.New(n, k, epsilon) }
+
+// DatabaseIndex is Theorem 2.3 lifted to relational databases via the
+// adjacency-graph encoding of Lemma 2.2: the query is translated to the
+// colored graph A′(D) and indexed there. Solutions are tuples of domain
+// elements of the database.
+type DatabaseIndex struct {
+	ix *Index
+}
+
+// BuildDatabaseIndex translates and indexes a relational FO⁺ query (using
+// relation atoms like "R(x,y)") over a database.
+func BuildDatabaseIndex(db *Database, q *Query) (*DatabaseIndex, error) {
+	enc := db.AdjacencyGraph()
+	psi, err := enc.TranslateQuery(q.Phi, q.Vars)
+	if err != nil {
+		return nil, err
+	}
+	gq := &Query{Phi: psi, Vars: q.Vars}
+	ix, err := BuildIndex(enc.Graph, gq)
+	if err != nil {
+		return nil, fmt.Errorf("repro: indexing translated query: %w", err)
+	}
+	return &DatabaseIndex{ix: ix}, nil
+}
+
+// Next, Test, Enumerate and Count mirror Index; all tuples are database
+// domain elements (element vertices keep their ids in A′(D), and every
+// non-element vertex fails the translated query's element guard).
+func (d *DatabaseIndex) Next(tuple []int) ([]int, bool) { return d.ix.Next(tuple) }
+
+// Test reports whether tuple is a solution over the database.
+func (d *DatabaseIndex) Test(tuple []int) bool { return d.ix.Test(tuple) }
+
+// Enumerate yields all solutions over the database in lexicographic order.
+// (Element vertices occupy ids 0..n−1 of A′(D), so the element order and
+// the graph order agree.)
+func (d *DatabaseIndex) Enumerate(yield func([]int) bool) { d.ix.Enumerate(yield) }
+
+// Count returns the number of solutions.
+func (d *DatabaseIndex) Count() int { return d.ix.Count() }
