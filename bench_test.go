@@ -19,6 +19,7 @@ import (
 	"repro/internal/skip"
 	"repro/internal/splitter"
 	"repro/internal/store"
+	"repro/internal/wcol"
 )
 
 const benchQuerySrc = "dist(x,y) > 2 & C0(y)" // the paper's Example 2
@@ -364,6 +365,75 @@ func BenchmarkAdjacencyEncoding(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- E14: parallel preprocessing -------------------------------------------------
+//
+// The workers=1 and workers=4 sub-runs build identical structures (see the
+// differential tests); the ratio of their wall times is the pipeline
+// speedup. On a single-CPU host the two coincide up to speculation
+// overhead.
+
+func BenchmarkCoverConstructionParallel(b *testing.B) {
+	for _, n := range []int{16000, 64000} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid/n=%d/workers=%d", n, workers), func(b *testing.B) {
+				g := benchGraph(gen.Grid, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cover.ComputeWith(g, 2, cover.Options{Workers: workers})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDistIndexBuildParallel(b *testing.B) {
+	for _, n := range []int{16000, 64000} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid/n=%d/workers=%d", n, workers), func(b *testing.B) {
+				g := benchGraph(gen.Grid, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					dist.New(g, 2, dist.Options{Workers: workers})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkEnginePreprocessParallel(b *testing.B) {
+	for _, n := range []int{8000, 32000} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid/n=%d/workers=%d", n, workers), func(b *testing.B) {
+				g := benchGraph(gen.Grid, n)
+				lq, err := core.Compile(fo.MustParse(benchQuerySrc), []fo.Var{"x", "y"}, core.CompileOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Preprocess(g, lq, core.Options{Parallelism: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkWReachCountsParallel(b *testing.B) {
+	for _, n := range []int{16000, 64000} {
+		g := benchGraph(gen.Grid, n)
+		order := wcol.DegeneracyOrder(g)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("grid/n=%d/workers=%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					wcol.WReachCountsWorkers(g, order, 2, workers)
+				}
+			})
+		}
 	}
 }
 

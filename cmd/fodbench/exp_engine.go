@@ -32,7 +32,7 @@ func buildEngine(class string, n int, query string, vars ...string) (*graph.Grap
 	}
 	var e *core.Engine
 	pre := xbench.Time(func() {
-		e, err = core.Preprocess(g, lq, core.Options{})
+		e, err = core.Preprocess(g, lq, core.Options{Parallelism: parallelism})
 		if err != nil {
 			panic(err)
 		}
@@ -133,7 +133,7 @@ func runE7(quick bool) {
 				if err != nil {
 					panic(err)
 				}
-				e, err := core.Preprocess(g, lq, core.Options{})
+				e, err := core.Preprocess(g, lq, core.Options{Parallelism: parallelism})
 				if err != nil {
 					panic(err)
 				}

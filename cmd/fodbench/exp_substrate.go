@@ -129,7 +129,7 @@ func runE2(quick bool) {
 			for _, n := range sweep(quick) {
 				g := gen.Generate(gen.Class(class), n, gen.Options{Seed: 1})
 				var c *cover.Cover
-				d := xbench.Time(func() { c = cover.Compute(g, r) })
+				d := xbench.Time(func() { c = cover.ComputeWith(g, r, cover.Options{Workers: parallelism}) })
 				ns = append(ns, g.N())
 				ts = append(ts, d)
 				t.Add(class, r, g.N(), c.NumBags(), c.Degree(),
@@ -150,7 +150,7 @@ func runE3(quick bool) {
 			g := gen.Generate(gen.Class(class), n, gen.Options{Seed: 2})
 			r := 2
 			var ix *dist.Index
-			pre := xbench.Time(func() { ix = dist.New(g, r, dist.Options{}) })
+			pre := xbench.Time(func() { ix = dist.New(g, r, dist.Options{Workers: parallelism}) })
 			rng := rand.New(rand.NewSource(3))
 			const probes = 20000
 			pairs := make([][2]int, probes)
@@ -209,7 +209,7 @@ func runE11(quick bool) {
 	for _, class := range []string{"grid", "rtree", "bdeg", "star"} {
 		for _, n := range sweep(quick) {
 			g := gen.Generate(gen.Class(class), n, gen.Options{Seed: 4, Colors: 1, ColorProb: 0.3})
-			cov := cover.Compute(g, 2)
+			cov := cover.ComputeWith(g, 2, cover.Options{Workers: parallelism})
 			cov.ComputeKernels(2)
 			var L []graph.V
 			for v := 0; v < g.N(); v++ {

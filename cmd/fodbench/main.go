@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/par"
 )
 
 type experiment struct {
@@ -37,10 +39,17 @@ var experiments = []experiment{
 	{"E13", "§2 characterization: weak r-accessibility small on nowhere dense classes", runE13},
 }
 
+// parallelism is the preprocessing worker count shared by all experiments
+// (0 = GOMAXPROCS); set by the -parallel flag.
+var parallelism int
+
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	flag.IntVar(&parallelism, "parallel", 0,
+		"preprocessing workers (0 = all CPUs, 1 = sequential); results are identical for every setting")
 	flag.Parse()
+	parallelism = par.Resolve(parallelism)
 
 	want := map[string]bool{}
 	if *expFlag != "all" {

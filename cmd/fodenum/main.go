@@ -28,6 +28,7 @@ func main() {
 	testTuple := flag.String("test", "", "test one comma-separated tuple instead of enumerating")
 	nextTuple := flag.String("next", "", "print the smallest solution ≥ this comma-separated tuple")
 	explain := flag.Bool("explain", false, "print the compiled plan and index structure, then exit")
+	parallel := flag.Int("parallel", 0, "preprocessing workers (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if *query == "" || *vars == "" {
@@ -52,7 +53,7 @@ func main() {
 		fail(err)
 	}
 	start := time.Now()
-	ix, err := repro.BuildIndex(g, q)
+	ix, err := repro.BuildIndexOpt(g, q, repro.IndexOptions{Parallelism: *parallel})
 	if err != nil {
 		fail(err)
 	}

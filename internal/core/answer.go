@@ -176,11 +176,11 @@ func (e *Engine) nextClause(rt *clauseRT, a []graph.V) []graph.V {
 		}
 		for v := e.nextCandidate(rt, j, tuple[:j], lower); v >= 0; {
 			tuple[j] = v
-			e.stats.Candidates++
+			e.ctr.candidates.Add(1)
 			if rec(j+1, tight && v == a[j]) {
 				return true
 			}
-			e.stats.DeadEnds++
+			e.ctr.deadEnds.Add(1)
 			if v+1 >= e.g.N() {
 				break
 			}
@@ -316,16 +316,15 @@ func (e *Engine) componentHolds(c *compRT, prefix []graph.V, v graph.V) bool {
 	return e.localEval(c, vals)
 }
 
-// cachedBall memoizes componentBall per anchor vertex.
+// cachedBall memoizes componentBall per anchor vertex. Concurrent callers
+// may compute the same ball twice; both results are identical and the
+// losing store is harmless.
 func (e *Engine) cachedBall(anchor graph.V) []graph.V {
-	if e.ballCache == nil {
-		e.ballCache = map[graph.V][]graph.V{}
-	}
-	if b, ok := e.ballCache[anchor]; ok {
-		return b
+	if b, ok := e.ballCache.Load(anchor); ok {
+		return b.([]graph.V)
 	}
 	b := e.componentBall(anchor)
-	e.ballCache[anchor] = b
+	e.ballCache.Store(anchor, b)
 	return b
 }
 

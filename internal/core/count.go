@@ -142,32 +142,31 @@ func (e *Engine) closePairs(A, B []graph.V) int {
 // ballR returns the exact N_R(a), memoized. (cachedBall uses radius
 // R·(k−1), which equals R only for k=2, so keep a dedicated cache.)
 func (e *Engine) ballR(a graph.V) []graph.V {
-	if e.ballRCache == nil {
-		e.ballRCache = map[graph.V][]graph.V{}
-	}
-	if b, ok := e.ballRCache[a]; ok {
-		return b
+	if b, ok := e.ballRCache.Load(a); ok {
+		return b.([]graph.V)
 	}
 	var out []graph.V
 	if e.q.Guarded {
-		bfs := e.globalScratch()
+		bfs := e.gbfs.get()
 		ball := bfs.Ball(a, e.r)
 		out = make([]graph.V, len(ball))
 		for i, w := range ball {
 			out[i] = int(w)
 		}
+		e.gbfs.put(bfs)
 	} else {
 		bag := e.cov.Assign(a)
 		sub := e.bagSubs[bag]
-		bfs := e.bagScratch(bag)
+		bfs := e.bagBFS[bag].get()
 		ball := bfs.Ball(sub.Local(a), e.r)
 		out = make([]graph.V, len(ball))
 		for i, w := range ball {
 			out[i] = sub.Orig[int(w)]
 		}
+		e.bagBFS[bag].put(bfs)
 	}
 	sort.Ints(out)
-	e.ballRCache[a] = out
+	e.ballRCache.Store(a, out)
 	return out
 }
 

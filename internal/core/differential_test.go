@@ -1,0 +1,186 @@
+// Differential test harness: every query runs through two independently
+// built engines — Parallelism 1 (the sequential reference) and
+// Parallelism 4 — plus the naive evaluator as ground truth. All three must
+// agree on the full enumeration, on membership probes, and on counts;
+// the two engines must additionally agree on their preprocessing shape
+// (cover validity, bag count, starter sizes).
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/naive"
+)
+
+type diffCase struct {
+	class gen.Class
+	n     int
+	query string
+	vars  []fo.Var
+}
+
+func diffCases() []diffCase {
+	xy := []fo.Var{"x", "y"}
+	xyz := []fo.Var{"x", "y", "z"}
+	return []diffCase{
+		{gen.Path, 60, "dist(x,y) > 2 & C0(y)", xy},
+		{gen.Grid, 64, "dist(x,y) > 1 & C0(x) & C1(y)", xy},
+		{gen.RandomTree, 70, "E(x,y) & C0(x)", xy},
+		{gen.Caterpillar, 50, "dist(x,y) > 2 & (exists z (E(x,z) & C0(z)))", xy},
+		{gen.SparseRandom, 55, "dist(x,y) > 2 & C0(x)", xy},
+		{gen.BoundedDegree, 48, "dist(x,y) > 1 & dist(y,z) > 1 & dist(x,z) > 1 & C0(x)", xyz},
+		{gen.Star, 40, "C0(x) & C1(y) & dist(x,y) > 1", xy},
+		{gen.Cycle, 45, "dist(x,y) <= 2 & C0(x)", xy},
+	}
+}
+
+func buildEngines(t *testing.T, tc diffCase, seed int64) (*graph.Graph, *core.Engine, *core.Engine, *core.LocalQuery) {
+	t.Helper()
+	g := gen.Generate(tc.class, tc.n, gen.Options{Seed: seed, Colors: 2})
+	lq, err := core.Compile(fo.MustParse(tc.query), tc.vars, core.CompileOptions{})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", tc.query, err)
+	}
+	seq, err := core.Preprocess(g, lq, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("%s: sequential preprocess: %v", tc.query, err)
+	}
+	par, err := core.Preprocess(g, lq, core.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatalf("%s: parallel preprocess: %v", tc.query, err)
+	}
+	return g, seq, par, lq
+}
+
+func materialize(e *core.Engine) [][]graph.V {
+	var out [][]graph.V
+	e.Enumerate(func(s []graph.V) bool {
+		out = append(out, append([]graph.V(nil), s...))
+		return true
+	})
+	return out
+}
+
+// TestDifferentialParallelVsSequential is the main differential check:
+// identical enumeration output from both engines, and both matching the
+// naive oracle.
+func TestDifferentialParallelVsSequential(t *testing.T) {
+	for _, tc := range diffCases() {
+		for seed := int64(1); seed <= 3; seed++ {
+			label := fmt.Sprintf("%s/%s/seed%d", tc.class, tc.query, seed)
+			g, seq, par, lq := buildEngines(t, tc, seed)
+			want := naive.SolutionsLocal(g, lq)
+			gotSeq := materialize(seq)
+			gotPar := materialize(par)
+			if !reflect.DeepEqual(gotSeq, gotPar) {
+				t.Fatalf("%s: parallel enumeration diverged from sequential (%d vs %d tuples)",
+					label, len(gotSeq), len(gotPar))
+			}
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(gotSeq, want) {
+				t.Fatalf("%s: engine enumeration diverged from naive oracle (%d vs %d tuples)",
+					label, len(gotSeq), len(want))
+			}
+			// Preprocessing shape must agree too.
+			ss, ps := seq.Stats(), par.Stats()
+			if ss.CoverBags != ps.CoverBags || ss.CoverRadius != ps.CoverRadius ||
+				!reflect.DeepEqual(ss.StarterSizes, ps.StarterSizes) ||
+				ss.SkipPointers != ps.SkipPointers {
+				t.Fatalf("%s: preprocessing shape differs: %+v vs %+v", label, ss, ps)
+			}
+		}
+	}
+}
+
+// TestDifferentialMembership probes Test on a grid of tuples against both
+// engines and the naive semantics.
+func TestDifferentialMembership(t *testing.T) {
+	for _, tc := range diffCases()[:4] {
+		g, seq, par, lq := buildEngines(t, tc, 7)
+		sols := naive.SolutionsLocal(g, lq)
+		inSol := map[string]bool{}
+		for _, s := range sols {
+			inSol[fmt.Sprint(s)] = true
+		}
+		k := len(tc.vars)
+		probe := make([]graph.V, k)
+		var walk func(i int)
+		walk = func(i int) {
+			if i == k {
+				want := inSol[fmt.Sprint(probe)]
+				if got := seq.Test(probe); got != want {
+					t.Fatalf("%s: sequential Test(%v) = %v, naive %v", tc.query, probe, got, want)
+				}
+				if got := par.Test(probe); got != want {
+					t.Fatalf("%s: parallel Test(%v) = %v, naive %v", tc.query, probe, got, want)
+				}
+				return
+			}
+			for v := 0; v < g.N(); v += 5 {
+				probe[i] = v
+				walk(i + 1)
+			}
+		}
+		walk(0)
+	}
+}
+
+// TestDifferentialCover checks that the cover underlying both engines is
+// valid and identical — Validate() runs the cover axioms brute-force.
+func TestDifferentialCover(t *testing.T) {
+	for _, class := range []gen.Class{gen.Grid, gen.RandomTree, gen.SparseRandom} {
+		g := gen.Generate(class, 300, gen.Options{Seed: 4})
+		for _, r := range []int{1, 2} {
+			seq := cover.ComputeWith(g, r, cover.Options{Workers: 1})
+			par := cover.ComputeWith(g, r, cover.Options{Workers: 4})
+			if err := seq.Validate(); err != nil {
+				t.Fatalf("%s r=%d: sequential cover invalid: %v", class, r, err)
+			}
+			if err := par.Validate(); err != nil {
+				t.Fatalf("%s r=%d: parallel cover invalid: %v", class, r, err)
+			}
+			if seq.NumBags() != par.NumBags() {
+				t.Fatalf("%s r=%d: bag counts differ: %d vs %d", class, r, seq.NumBags(), par.NumBags())
+			}
+			for i := 0; i < seq.NumBags(); i++ {
+				if !reflect.DeepEqual(seq.Bag(i), par.Bag(i)) || seq.Center(i) != par.Center(i) {
+					t.Fatalf("%s r=%d: bag %d differs", class, r, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialDistances cross-checks parallel-built distance indexes
+// against the BFS oracle, for every radius up to the index radius.
+func TestDifferentialDistances(t *testing.T) {
+	for _, class := range []gen.Class{gen.Grid, gen.Caterpillar, gen.BoundedDegree} {
+		g := gen.Generate(class, 250, gen.Options{Seed: 6})
+		seq := dist.New(g, 3, dist.Options{Workers: 1})
+		par := dist.New(g, 3, dist.Options{Workers: 4})
+		bfs := graph.NewBFS(g)
+		for a := 0; a < g.N(); a += 7 {
+			for b := 0; b < g.N(); b += 11 {
+				for rr := 0; rr <= 3; rr++ {
+					want := bfs.Distance(a, b, rr) >= 0
+					if got := seq.Within(a, b, rr); got != want {
+						t.Fatalf("%s: sequential Within(%d,%d,%d) = %v, oracle %v", class, a, b, rr, got, want)
+					}
+					if got := par.Within(a, b, rr); got != want {
+						t.Fatalf("%s: parallel Within(%d,%d,%d) = %v, oracle %v", class, a, b, rr, got, want)
+					}
+				}
+			}
+		}
+	}
+}

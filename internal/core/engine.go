@@ -3,11 +3,15 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cover"
 	"repro/internal/dist"
 	"repro/internal/fo"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/skip"
 )
 
@@ -15,6 +19,11 @@ import (
 type Options struct {
 	// Dist forwards to the distance index of Proposition 4.2.
 	Dist dist.Options
+	// Parallelism bounds the preprocessing worker count. 0 selects
+	// runtime.GOMAXPROCS(0); 1 reproduces the sequential build bit for
+	// bit. Any value yields an identical engine — parallelism changes
+	// wall time, never the structure or the answers.
+	Parallelism int
 }
 
 // Stats reports preprocessing facts and running counters of the answering
@@ -29,10 +38,30 @@ type Stats struct {
 	DeadEnds      int   // candidates rejected after deeper levels failed
 	LocalEvals    int   // bag-local formula evaluations (memo misses)
 	LocalEvalHits int   // memo hits
+
+	Workers     int           // preprocessing parallelism used
+	DistWall    time.Duration // wall time of the distance-index build
+	CoverWall   time.Duration // wall time of the cover computation
+	KernelWall  time.Duration // wall time of kernel extraction
+	StarterWall time.Duration // wall time of starter-list computation
+	SkipWall    time.Duration // wall time of skip-pointer construction
+}
+
+// counters holds the answering-phase statistics as atomics, so concurrent
+// queries can bump them without a lock; Stats() folds them into the
+// snapshot it returns.
+type counters struct {
+	candidates    atomic.Int64
+	deadEnds      atomic.Int64
+	localEvals    atomic.Int64
+	localEvalHits atomic.Int64
 }
 
 // Engine is the preprocessed structure of Theorem 2.3 for one graph and one
-// LocalQuery. It is not safe for concurrent use.
+// LocalQuery. Preprocess must complete before use; afterwards the
+// answering methods (NextGeq, NextGt, NextLast, Test, Enumerate, Count,
+// FastCount, Stats) are safe for concurrent use — query-time scratch is
+// pooled per goroutine and the lazy caches are concurrent maps.
 type Engine struct {
 	g   *graph.Graph
 	q   *LocalQuery
@@ -41,17 +70,30 @@ type Engine struct {
 	rho int // local radius ρ
 
 	dix     *dist.Index
-	gev     *fo.Evaluator // global evaluator with dist atoms served by dix
+	evPool  sync.Pool // *fo.Evaluator with dist atoms served by dix
 	cov     *cover.Cover
-	bagSubs []*graph.Sub // only materialized for non-guarded queries
-	bagBFS  []*graph.BFS // lazy per-bag scratch
-	gbfs    *graph.BFS   // global scratch (guarded paths)
+	bagSubs []*graph.Sub   // only materialized for non-guarded queries
+	bagBFS  []*scratchPool // per-bag BFS scratch
+	gbfs    *scratchPool   // global scratch (guarded paths)
 
 	clauses    []*clauseRT
-	ballCache  map[graph.V][]graph.V
-	ballRCache map[graph.V][]graph.V
+	ballCache  sync.Map // graph.V -> []graph.V, radius R(k−1)
+	ballRCache sync.Map // graph.V -> []graph.V, radius R
 	stats      Stats
+	ctr        counters
 }
+
+// scratchPool hands out per-goroutine BFS scratch bound to one graph.
+type scratchPool struct{ p sync.Pool }
+
+func newScratchPool(g *graph.Graph) *scratchPool {
+	sp := &scratchPool{}
+	sp.p.New = func() any { return graph.NewBFS(g) }
+	return sp
+}
+
+func (sp *scratchPool) get() *graph.BFS  { return sp.p.Get().(*graph.BFS) }
+func (sp *scratchPool) put(b *graph.BFS) { sp.p.Put(b) }
 
 // clauseRT is the runtime form of one clause.
 type clauseRT struct {
@@ -77,12 +119,14 @@ type compRT struct {
 	skip         *skip.Pointers
 	byKernel     [][]graph.V // per bag: starter ∩ K_R(bag), sorted
 
-	memo map[string]bool // bag-local evaluation memo
+	memo sync.Map // tupleKey -> bool, bag-local evaluation memo
 }
 
 // Preprocess builds the Theorem 2.3 index: distance index, (kR+ρ, ·)
 // neighborhood cover with R-kernels, per-clause starter lists, and skip
-// pointers. Its cost is pseudo-linear on nowhere dense inputs.
+// pointers. Its cost is pseudo-linear on nowhere dense inputs. With
+// Options.Parallelism > 1 the phases run on a worker pool; the resulting
+// engine is identical to the sequential build.
 func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -91,6 +135,10 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: arity %d exceeds supported maximum %d", q.K, skip.MaxSetSize+1)
 	}
 	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius}
+	workers := par.Resolve(opt.Parallelism)
+	pool := par.NewPool(workers)
+	e.stats.Workers = workers
+	e.gbfs = newScratchPool(g)
 
 	// Distance index (Proposition 4.2) for the type tests dist ≤ R and —
 	// on guarded queries — for the distance atoms inside the component
@@ -103,9 +151,18 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 			}
 		}
 	}
-	e.dix = dist.New(g, distR, opt.Dist)
-	e.gev = fo.NewEvaluator(g)
-	e.gev.UseDistTester(e.dix)
+	distOpt := opt.Dist
+	if distOpt.Workers == 0 {
+		distOpt.Workers = workers
+	}
+	t0 := time.Now()
+	e.dix = dist.New(g, distR, distOpt)
+	e.stats.DistWall = time.Since(t0)
+	e.evPool.New = func() any {
+		ev := fo.NewEvaluator(g)
+		ev.UseDistTester(e.dix)
+		return ev
+	}
 
 	// Cover radius. The kernels make "outside every kernel ⇒ far from
 	// every previous element" sound, which needs bags ⊇ N_{2R}(center of
@@ -120,17 +177,23 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 			coverR = alt
 		}
 	}
-	e.cov = cover.Compute(g, coverR)
+	t0 = time.Now()
+	e.cov = cover.ComputeWith(g, coverR, cover.Options{Workers: workers})
+	e.stats.CoverWall = time.Since(t0)
+	t0 = time.Now()
 	e.cov.ComputeKernels(e.r)
+	e.stats.KernelWall = time.Since(t0)
 	e.stats.CoverRadius = coverR
 	e.stats.CoverBags = e.cov.NumBags()
 	e.stats.CoverDegree = e.cov.Degree()
 
 	if !q.Guarded {
-		e.bagSubs = make([]*graph.Sub, e.cov.NumBags())
-		e.bagBFS = make([]*graph.BFS, e.cov.NumBags())
-		for i := range e.bagSubs {
-			e.bagSubs[i] = graph.Induce(g, e.cov.Bag(i))
+		e.bagSubs = par.Map(pool, e.cov.NumBags(), func(i int) *graph.Sub {
+			return graph.Induce(g, e.cov.Bag(i))
+		})
+		e.bagBFS = make([]*scratchPool, len(e.bagSubs))
+		for i := range e.bagBFS {
+			e.bagBFS[i] = newScratchPool(e.bagSubs[i].G)
 		}
 	}
 
@@ -149,7 +212,7 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	}
 
 	for ci := range live {
-		rt, err := e.buildClause(&live[ci])
+		rt, err := e.buildClause(&live[ci], pool)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +221,7 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	return e, nil
 }
 
-func (e *Engine) buildClause(cl *Clause) (*clauseRT, error) {
+func (e *Engine) buildClause(cl *Clause, pool *par.Pool) (*clauseRT, error) {
 	rt := &clauseRT{
 		clause:  cl,
 		compOf:  make([]int, e.k),
@@ -171,20 +234,23 @@ func (e *Engine) buildClause(cl *Clause) (*clauseRT, error) {
 			typ:       cl.Type,
 			psi:       lf.Psi,
 			last:      lf.Positions[len(lf.Positions)-1],
-			memo:      map[string]bool{},
 		}
 		for _, p := range lf.Positions {
 			c.vars = append(c.vars, PosVar(p))
 			rt.compOf[p] = li
 			rt.firstOf[p] = lf.Positions[0]
 		}
-		e.computeStarter(c)
+		t0 := time.Now()
+		e.computeStarter(c, pool)
+		e.stats.StarterWall += time.Since(t0)
 		e.stats.StarterSizes = append(e.stats.StarterSizes, len(c.starter))
 		if e.k >= 2 {
+			t0 = time.Now()
 			c.skip = skip.New(e.g, e.cov, e.k-1, c.starter)
+			e.stats.SkipWall += time.Since(t0)
 			e.stats.SkipPointers += c.skip.Size()
 		}
-		e.buildKernelLists(c)
+		e.buildKernelLists(c, pool)
 		rt.comps = append(rt.comps, c)
 	}
 	return rt, nil
@@ -195,18 +261,23 @@ func (e *Engine) buildClause(cl *Clause) (*clauseRT, error) {
 // solution with first coordinate v (Step 12 of the paper for singleton
 // components; the multi-position generalization searches the ball around v
 // for a completion respecting the component's internal distance pattern).
-func (e *Engine) computeStarter(c *compRT) {
+//
+// The per-vertex tests are independent — they share only the concurrent
+// caches and pooled scratch — so they fan out across the pool; each vertex
+// writes its own inStart slot and the sorted starter list is assembled
+// from the bitmap afterwards, making the result worker-count-independent.
+func (e *Engine) computeStarter(c *compRT, pool *par.Pool) {
 	c.inStart = make([]bool, e.g.N())
-	for v := 0; v < e.g.N(); v++ {
-		ok := false
+	pool.ForEach(e.g.N(), func(v int) {
 		if len(c.positions) == 1 {
-			ok = e.localEval(c, []graph.V{v})
+			c.inStart[v] = e.localEval(c, []graph.V{v})
 		} else {
-			ok = e.completesComponent(c, []graph.V{v})
+			c.inStart[v] = e.completesComponent(c, []graph.V{v})
 		}
-		if ok {
+	})
+	for v, in := range c.inStart {
+		if in {
 			c.starter = append(c.starter, v)
-			c.inStart[v] = true
 		}
 	}
 	if len(c.positions) == 1 {
@@ -239,39 +310,27 @@ func (e *Engine) completesComponent(c *compRT, vals []graph.V) bool {
 func (e *Engine) componentBall(v graph.V) []graph.V {
 	radius := e.r * (e.k - 1)
 	if e.q.Guarded {
-		bfs := e.globalScratch()
+		bfs := e.gbfs.get()
 		ball := bfs.Ball(v, radius)
 		out := make([]graph.V, len(ball))
 		for i, w := range ball {
 			out[i] = int(w)
 		}
+		e.gbfs.put(bfs)
 		sort.Ints(out)
 		return out
 	}
 	bag := e.cov.Assign(v)
 	sub := e.bagSubs[bag]
-	bfs := e.bagScratch(bag)
+	bfs := e.bagBFS[bag].get()
 	ball := bfs.Ball(sub.Local(v), radius)
 	out := make([]graph.V, len(ball))
 	for i, w := range ball {
 		out[i] = sub.Orig[int(w)]
 	}
+	e.bagBFS[bag].put(bfs)
 	sort.Ints(out)
 	return out
-}
-
-func (e *Engine) bagScratch(bag int) *graph.BFS {
-	if e.bagBFS[bag] == nil {
-		e.bagBFS[bag] = graph.NewBFS(e.bagSubs[bag].G)
-	}
-	return e.bagBFS[bag]
-}
-
-func (e *Engine) globalScratch() *graph.BFS {
-	if e.gbfs == nil {
-		e.gbfs = graph.NewBFS(e.g)
-	}
-	return e.gbfs
 }
 
 // partialTypeOK checks the distance-type edges between the prospective
@@ -302,16 +361,17 @@ func (e *Engine) checkComponentType(c *compRT, vals []graph.V) bool {
 	return true
 }
 
-// buildKernelLists fills c.byKernel[bag] = starter ∩ K_R(bag).
-func (e *Engine) buildKernelLists(c *compRT) {
+// buildKernelLists fills c.byKernel[bag] = starter ∩ K_R(bag). Bags are
+// independent and each task writes only its own list.
+func (e *Engine) buildKernelLists(c *compRT, pool *par.Pool) {
 	c.byKernel = make([][]graph.V, e.cov.NumBags())
-	for i := 0; i < e.cov.NumBags(); i++ {
+	pool.ForEach(e.cov.NumBags(), func(i int) {
 		for _, v := range e.cov.Kernel(i) {
 			if c.inStart[v] {
 				c.byKernel[i] = append(c.byKernel[i], v)
 			}
 		}
-	}
+	})
 }
 
 // localEval evaluates ψ_I(ā_I) locally, with memoization. vals is aligned
@@ -320,35 +380,42 @@ func (e *Engine) buildKernelLists(c *compRT) {
 // restricted to the ρ-ball and distance atoms served by the index — no
 // subgraph construction at all. Hand-built queries get the literal
 // G[N_ρ(ā_I)] semantics of EvalReference.
+//
+// Safe for concurrent use: the memo is a concurrent map (duplicate
+// concurrent evaluations compute the same value, so racing stores are
+// benign) and evaluator/BFS scratch comes from per-goroutine pools.
 func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
 	if c.starterReady && len(vals) == 1 {
 		return c.inStart[vals[0]]
 	}
 	key := tupleKey(vals)
-	if r, ok := c.memo[key]; ok {
-		e.stats.LocalEvalHits++
-		return r
+	if r, ok := c.memo.Load(key); ok {
+		e.ctr.localEvalHits.Add(1)
+		return r.(bool)
 	}
-	e.stats.LocalEvals++
+	e.ctr.localEvals.Add(1)
 	var res bool
 	if e.q.Guarded {
 		// Global semantics: ball on the global graph, quantifiers over the
 		// ball, distance atoms via the index. No subgraph construction.
-		bfs := e.globalScratch()
+		bfs := e.gbfs.get()
 		ball := bfs.BallMulti(vals, e.rho)
 		domain := make([]graph.V, len(ball))
 		for i, w := range ball {
 			domain[i] = int(w)
 		}
+		e.gbfs.put(bfs)
 		env := fo.Env{}
 		for i, v := range vals {
 			env[c.vars[i]] = v
 		}
-		res = e.gev.EvalOver(c.psi, env, domain)
+		ev := e.evPool.Get().(*fo.Evaluator)
+		res = ev.EvalOver(c.psi, env, domain)
+		e.evPool.Put(ev)
 	} else {
 		res = e.exactBallEval(c, vals)
 	}
-	c.memo[key] = res
+	c.memo.Store(key, res)
 	return res
 }
 
@@ -369,12 +436,13 @@ func (e *Engine) exactBallEval(c *compRT, vals []graph.V) bool {
 		}
 		locals[i] = lv
 	}
-	bfs := e.bagScratch(bag)
+	bfs := e.bagBFS[bag].get()
 	ball := bfs.BallMulti(locals, e.rho)
 	vs := make([]graph.V, len(ball))
 	for i, w := range ball {
 		vs[i] = int(w)
 	}
+	e.bagBFS[bag].put(bfs)
 	ballSub := graph.Induce(sub.G, vs)
 	ev := fo.NewCachedEvaluator(ballSub.G)
 	env := fo.Env{}
@@ -396,8 +464,15 @@ func tupleKey(vals []graph.V) string {
 	return string(b)
 }
 
-// Stats returns the current statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the current statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Candidates = int(e.ctr.candidates.Load())
+	s.DeadEnds = int(e.ctr.deadEnds.Load())
+	s.LocalEvals = int(e.ctr.localEvals.Load())
+	s.LocalEvalHits = int(e.ctr.localEvalHits.Load())
+	return s
+}
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }

@@ -127,6 +127,68 @@ func TestFuzzEngineAgainstNaive(t *testing.T) {
 	}
 }
 
+// FuzzParallelVsSequentialPreprocess round-trips fuzzed graph inputs
+// through both preprocessing pipelines and requires identical enumeration
+// output and identical membership answers. The fuzzer steers the graph
+// class, size, seed, and query; `go test -fuzz=FuzzParallelVsSequential`
+// explores further from the seed corpus, and the corpus entries run as
+// regression tests under plain `go test`.
+func FuzzParallelVsSequentialPreprocess(f *testing.F) {
+	f.Add(uint8(0), uint8(40), int64(1), uint8(0))
+	f.Add(uint8(3), uint8(64), int64(7), uint8(1))
+	f.Add(uint8(5), uint8(90), int64(42), uint8(2))
+	f.Add(uint8(9), uint8(33), int64(-3), uint8(3))
+	f.Add(uint8(12), uint8(120), int64(999), uint8(4))
+	classes := []gen.Class{gen.Path, gen.Cycle, gen.Star, gen.Caterpillar,
+		gen.BalancedTree, gen.RandomTree, gen.Grid, gen.KingGrid,
+		gen.BoundedDegree, gen.SparseRandom, gen.PartialKTree,
+		gen.Outerplanar, gen.Clique}
+	queries := []struct {
+		src  string
+		vars []fo.Var
+	}{
+		{"dist(x,y) > 2 & C0(y)", []fo.Var{"x", "y"}},
+		{"E(x,y) & C0(x)", []fo.Var{"x", "y"}},
+		{"dist(x,y) > 1 & C0(x) & C1(y)", []fo.Var{"x", "y"}},
+		{"C0(x) & (exists z (E(x,z) & C1(z)))", []fo.Var{"x"}},
+		{"dist(x,y) <= 2 & ~C0(y)", []fo.Var{"x", "y"}},
+	}
+	f.Fuzz(func(t *testing.T, classByte, nByte uint8, seed int64, queryByte uint8) {
+		class := classes[int(classByte)%len(classes)]
+		n := 2 + int(nByte)%150
+		qc := queries[int(queryByte)%len(queries)]
+		g := gen.Generate(class, n, gen.Options{Seed: seed, Colors: 2, ColorProb: 0.35})
+		q, err := Compile(fo.MustParse(qc.src), qc.vars, CompileOptions{})
+		if err != nil {
+			t.Fatalf("fixed query rejected: %v", err)
+		}
+		seq, err := Preprocess(g, q, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("sequential preprocess: %v", err)
+		}
+		par, err := Preprocess(g, q, Options{Parallelism: 3})
+		if err != nil {
+			t.Fatalf("parallel preprocess: %v", err)
+		}
+		got, want := materializeEngine(par), materializeEngine(seq)
+		if i, ok := tuplesEqual(got, want); !ok {
+			t.Fatalf("%s n=%d seed=%d %q: parallel %d vs sequential %d tuples (diff near %v vs %v)",
+				class, n, seed, qc.src, len(got), len(want), safeIndex(got, i), safeIndex(want, i))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		probe := make([]int, len(qc.vars))
+		for trial := 0; trial < 10; trial++ {
+			for i := range probe {
+				probe[i] = rng.Intn(g.N())
+			}
+			if sq, pq := seq.Test(probe), par.Test(probe); sq != pq {
+				t.Fatalf("%s n=%d seed=%d %q: Test(%v) sequential %v, parallel %v",
+					class, n, seed, qc.src, probe, sq, pq)
+			}
+		}
+	})
+}
+
 // TestFuzzArity3 runs a smaller arity-3 fuzz (naive evaluation is n³).
 func TestFuzzArity3(t *testing.T) {
 	trials := 30

@@ -13,15 +13,52 @@
 // Bag and kernel membership (including ordered successor queries inside a
 // bag) are served by Storing-Theorem structures keyed by (bag, vertex), as
 // in the paper's use of Theorem 3.1 after Theorem 4.4.
+//
+// # Parallel construction
+//
+// The expensive per-bag work — the 2r-ball BFS and the Lemma 5.7 boundary
+// BFS that identifies the bag's r-interior — depends only on the graph and
+// the chosen center, never on earlier bags. Only the *choice* of centers
+// (the ascending scan over still-uncovered vertices) is sequential. With
+// Options.Workers > 1, ComputeWith therefore speculates: it picks the next
+// few plausible centers, computes their balls and interiors concurrently,
+// and then commits results in ascending center order, discarding any
+// speculation invalidated by an earlier commit. The committed center
+// sequence is provably the greedy sequence, so the resulting cover is
+// byte-identical to the sequential one (bags, centers, assignment, and
+// kernels); the differential tests in this package and internal/core
+// enforce that. ComputeKernels parallelizes trivially (one independent
+// boundary BFS per bag, ordered fan-in).
 package cover
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/store"
 )
+
+// Options tunes cover construction.
+type Options struct {
+	// Workers bounds the construction parallelism. 0 and 1 select the
+	// sequential path; the parallel path (≥ 2) produces byte-identical
+	// covers.
+	Workers int
+}
+
+// Stats reports construction facts: parallelism used, speculation
+// efficiency, and per-phase wall time.
+type Stats struct {
+	Workers       int           // workers used for Compute/ComputeKernels
+	BallsComputed int           // ball+interior computations (incl. speculative)
+	BallsWasted   int           // speculative computations discarded
+	ComputeWall   time.Duration // wall time of ComputeWith
+	KernelWall    time.Duration // wall time of ComputeKernels
+}
 
 // Cover is an (R, 2R)-neighborhood cover of a colored graph.
 type Cover struct {
@@ -34,96 +71,249 @@ type Cover struct {
 	assign   []int32     // 𝒳(a): index of the canonical bag covering N_R(a)
 	memberOf [][]int32   // sorted bag indices containing each vertex
 
-	members *store.Store // (bag, vertex) ↦ 1, the paper's f_𝒳
+	membersOnce sync.Once
+	members     *store.Store // (bag, vertex) ↦ 1, the paper's f_𝒳
 
-	kernelP     int          // radius of the computed kernels (-1 = none)
-	kernels     [][]graph.V  // p-kernel per bag, sorted
-	kernelStore *store.Store // (bag, vertex) ↦ 1 for kernel membership
-	kernelOf    [][]int32    // sorted bag indices whose kernel contains v
+	kernelP         int         // radius of the computed kernels (-1 = none)
+	kernels         [][]graph.V // p-kernel per bag, sorted
+	kernelStoreOnce sync.Once
+	kernelStore     *store.Store // (bag, vertex) ↦ 1 for kernel membership
+	kernelOf        [][]int32    // sorted bag indices whose kernel contains v
+
+	pool  *par.Pool
+	stats Stats
 }
 
 // Epsilon is the trie parameter handed to the Storing-Theorem structures.
 const Epsilon = 0.25
 
-// Compute builds an (r, 2r)-neighborhood cover of g.
+// Compute builds an (r, 2r)-neighborhood cover of g sequentially. It is
+// ComputeWith with Options{Workers: 1}.
 func Compute(g *graph.Graph, r int) *Cover {
+	return ComputeWith(g, r, Options{Workers: 1})
+}
+
+// ComputeWith builds an (r, 2r)-neighborhood cover of g with the given
+// options. The result is independent of Workers.
+func ComputeWith(g *graph.Graph, r int, opt Options) *Cover {
 	if r < 1 {
 		panic(fmt.Sprintf("cover: radius %d < 1", r))
 	}
-	c := &Cover{g: g, R: r, S: 2 * r, kernelP: -1}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	start := time.Now()
+	c := &Cover{g: g, R: r, S: 2 * r, kernelP: -1, pool: par.NewPool(workers)}
+	c.stats.Workers = c.pool.Workers()
 	c.assign = make([]int32, g.N())
 	for i := range c.assign {
 		c.assign[i] = -1
 	}
-	bfs := graph.NewBFS(g)
-	inBall := make([]int32, g.N())
-	depth := make([]int32, g.N())
-	for i := range inBall {
-		inBall[i] = -1
+	if c.pool.Workers() > 1 && g.N() > 1 {
+		c.computeSpeculative()
+	} else {
+		c.computeSequential()
 	}
-	var boundary []graph.V
-	for a := 0; a < g.N(); a++ {
+	c.stats.BallsWasted = c.stats.BallsComputed - len(c.bags)
+	c.buildMembership()
+	c.stats.ComputeWall = time.Since(start)
+	return c
+}
+
+// ballScratch is the per-worker state of one ball+interior computation:
+// reusable BFS scratch plus epoch-marked membership arrays. mark[v] == ep
+// means "in the current ball's interior", mark[v] == -ep "in the ball but
+// within r of its boundary" (the excluded set of Lemma 5.7).
+type ballScratch struct {
+	bfs   *graph.BFS
+	mark  []int32
+	depth []int32
+	queue []graph.V
+	ep    int32
+}
+
+func newBallScratch(g *graph.Graph) *ballScratch {
+	return &ballScratch{
+		bfs:   graph.NewBFS(g),
+		mark:  make([]int32, g.N()),
+		depth: make([]int32, g.N()),
+	}
+}
+
+// specResult is one speculative bag: the sorted 2r-ball of center and the
+// subset of it whose r-ball stays inside (the vertices the bag covers).
+type specResult struct {
+	center   graph.V
+	bag      []graph.V // sorted
+	interior []graph.V
+}
+
+// ballAndInterior computes N_S(center) and its r-interior, exactly as one
+// iteration of the sequential greedy loop does, using only sc-local state.
+func (c *Cover) ballAndInterior(sc *ballScratch, center graph.V) specResult {
+	sc.ep++
+	ep := sc.ep
+	ball := sc.bfs.Ball(center, c.S)
+	vs := make([]graph.V, len(ball))
+	for i, v := range ball {
+		vs[i] = int(v)
+		sc.mark[v] = ep
+	}
+	// Boundary: ball vertices with a neighbor outside the ball, at
+	// distance 1 from the complement (Lemma 5.7).
+	sc.queue = sc.queue[:0]
+	for _, v := range vs {
+		for _, w := range c.g.Neighbors(v) {
+			if sc.mark[w] != ep {
+				sc.queue = append(sc.queue, v)
+				sc.depth[v] = 1
+				break
+			}
+		}
+	}
+	for _, v := range sc.queue {
+		sc.mark[v] = -ep
+	}
+	// BFS inside the ball: depth t ⇒ distance t to the complement; the
+	// interior is {distance > r}.
+	for head := 0; head < len(sc.queue); head++ {
+		v := sc.queue[head]
+		if int(sc.depth[v]) >= c.R {
+			continue
+		}
+		for _, w := range c.g.Neighbors(v) {
+			if sc.mark[w] == ep {
+				sc.mark[w] = -ep
+				sc.depth[w] = sc.depth[v] + 1
+				sc.queue = append(sc.queue, int(w))
+			}
+		}
+	}
+	interior := make([]graph.V, 0, len(vs))
+	for _, v := range vs {
+		if sc.mark[v] == ep {
+			interior = append(interior, v)
+		}
+	}
+	sort.Ints(vs)
+	return specResult{center: center, bag: vs, interior: interior}
+}
+
+// commit appends the bag and assigns its still-unassigned interior
+// vertices, mirroring one sequential greedy iteration.
+func (c *Cover) commit(res specResult) {
+	bag := int32(len(c.bags))
+	for _, v := range res.interior {
+		if c.assign[v] < 0 {
+			c.assign[v] = bag
+		}
+	}
+	if c.assign[res.center] < 0 {
+		// Degenerate: the center sits within r of its own bag boundary
+		// (possible when the ball is shallow); it is still covered by its
+		// own N_r ⊆ N_S(center) = the bag. Keep the direct assignment as
+		// a safety net.
+		c.assign[res.center] = bag
+	}
+	c.bags = append(c.bags, res.bag)
+	c.centers = append(c.centers, res.center)
+}
+
+func (c *Cover) computeSequential() {
+	sc := newBallScratch(c.g)
+	for a := 0; a < c.g.N(); a++ {
 		if c.assign[a] >= 0 {
 			continue
 		}
-		bag := int32(len(c.bags))
-		ball := bfs.Ball(a, c.S)
-		vs := make([]graph.V, len(ball))
-		for i, v := range ball {
-			vs[i] = int(v)
-			inBall[v] = bag
-		}
-		// Assign to this bag every still-unassigned vertex whose whole
-		// r-ball lies inside the bag (the bag's r-kernel) — this includes
-		// N_r(a) and makes the greedy cover produce few bags even when
-		// balls saturate the graph. Kernel membership via the boundary
-		// BFS of Lemma 5.7.
-		boundary = boundary[:0]
-		for _, v := range vs {
-			for _, w := range g.Neighbors(v) {
-				if inBall[w] != bag {
-					boundary = append(boundary, v)
-					depth[v] = 1
-					break
-				}
-			}
-		}
-		excluded := int32(-2 - bag) // distinct marker per bag
-		for _, v := range boundary {
-			inBall[v] = excluded
-		}
-		for head := 0; head < len(boundary); head++ {
-			v := boundary[head]
-			if int(depth[v]) >= r {
+		c.stats.BallsComputed++
+		c.commit(c.ballAndInterior(sc, a))
+	}
+}
+
+// computeSpeculative is the parallel greedy cover. Invariant: every vertex
+// below frontier is assigned. Each round speculates a batch of candidate
+// centers — the current frontier plus further unassigned vertices spaced
+// by an adaptive gap estimate — and computes their balls concurrently.
+//
+// The key to a useful hit rate is that ballAndInterior is a pure function
+// of (graph, center): a speculated result is never stale, merely
+// premature. Results are therefore kept in a cache keyed by center, and
+// the frontier walk commits a cached result the moment its center becomes
+// the smallest unassigned vertex — the exact greedy selection rule, which
+// is what makes the parallel cover byte-identical to the sequential one.
+// A cached result is wasted only if its center gets covered by an earlier
+// bag first (it is evicted when the frontier passes it). The frontier
+// itself is always speculated, so every round makes progress.
+func (c *Cover) computeSpeculative() {
+	n := c.g.N()
+	scratches := make([]*ballScratch, c.pool.Workers())
+	batch := c.pool.Workers()
+	cache := make(map[graph.V]specResult, 2*batch)
+	frontier := 0
+	gap := 1
+	prevCenter := -1
+	cands := make([]graph.V, 0, batch)
+	for {
+		// Drain: commit cached results as their centers become greedy
+		// centers; evict entries whose center got covered.
+		for frontier < n {
+			if c.assign[frontier] >= 0 {
+				delete(cache, frontier)
+				frontier++
 				continue
 			}
-			for _, w := range g.Neighbors(v) {
-				if inBall[w] == bag {
-					inBall[w] = excluded
-					depth[w] = depth[v] + 1
-					boundary = append(boundary, int(w))
+			res, ok := cache[frontier]
+			if !ok {
+				break
+			}
+			delete(cache, frontier)
+			c.commit(res)
+			// Track the observed center spacing so candidate gaps follow
+			// the bag-size structure of the graph.
+			if prevCenter >= 0 {
+				gap = (gap + (frontier - prevCenter) + 1) / 2
+			}
+			prevCenter = frontier
+		}
+		if frontier == n {
+			return
+		}
+		// The frontier is an uncached greedy center: speculate it plus
+		// gap-spaced unassigned, uncached vertices after it.
+		cands = append(cands[:0], frontier)
+		pos := frontier
+		for len(cands) < batch {
+			next := pos + gap
+			if next <= pos {
+				next = pos + 1
+			}
+			for next < n {
+				_, cached := cache[next]
+				if c.assign[next] < 0 && !cached {
+					break
 				}
+				next++
 			}
-		}
-		for _, v := range vs {
-			if inBall[v] == bag && c.assign[v] < 0 {
-				c.assign[v] = bag
+			if next >= n {
+				break
 			}
+			cands = append(cands, next)
+			pos = next
 		}
-		if c.assign[a] < 0 {
-			// Degenerate: a sits within r of the bag boundary (possible
-			// when the ball is shallow); it is still covered by its own
-			// N_r ⊆ N_S(a) = the bag, by construction of S ≥ 2r... which
-			// the kernel test may reject only if N_r(a) ⊄ N_S(a), never.
-			// Keep the direct assignment as a safety net.
-			c.assign[a] = bag
+		results := make([]specResult, len(cands))
+		local := cands
+		c.pool.ForEachWorker(len(local), func(wk, i int) {
+			if scratches[wk] == nil {
+				scratches[wk] = newBallScratch(c.g)
+			}
+			results[i] = c.ballAndInterior(scratches[wk], local[i])
+		})
+		c.stats.BallsComputed += len(cands)
+		for _, res := range results {
+			cache[res.center] = res
 		}
-		sort.Ints(vs)
-		c.bags = append(c.bags, vs)
-		c.centers = append(c.centers, a)
 	}
-	c.buildMembership()
-	return c
 }
 
 func (c *Cover) buildMembership() {
@@ -139,25 +329,31 @@ func (c *Cover) buildMembership() {
 	// on first use (many consumers only need Assign/Bag/kernels).
 }
 
+// memberStore lazily builds the Storing-Theorem membership structure. The
+// sync.Once makes the lazy initialization safe for concurrent readers
+// (Contains/NextInBag may be called from parallel query threads).
 func (c *Cover) memberStore() *store.Store {
-	if c.members != nil {
-		return c.members
-	}
-	u := c.g.N()
-	if len(c.bags) > u {
-		u = len(c.bags)
-	}
-	if u < 2 {
-		u = 2
-	}
-	c.members = store.New(u, 2, Epsilon)
-	for i, bag := range c.bags {
-		for _, v := range bag {
-			c.members.Set([]int{i, v}, 1)
+	c.membersOnce.Do(func() {
+		u := c.g.N()
+		if len(c.bags) > u {
+			u = len(c.bags)
 		}
-	}
+		if u < 2 {
+			u = 2
+		}
+		m := store.New(u, 2, Epsilon)
+		for i, bag := range c.bags {
+			for _, v := range bag {
+				m.Set([]int{i, v}, 1)
+			}
+		}
+		c.members = m
+	})
 	return c.members
 }
+
+// Stats returns construction statistics.
+func (c *Cover) Stats() Stats { return c.stats }
 
 // NumBags returns |𝒳|.
 func (c *Cover) NumBags() int { return len(c.bags) }
@@ -195,14 +391,14 @@ func (c *Cover) SumBagSizes() int {
 }
 
 // Contains reports whether vertex v belongs to bag i, via the
-// Storing-Theorem structure (constant time).
+// Storing-Theorem structure (constant time). Safe for concurrent use.
 func (c *Cover) Contains(i int, v graph.V) bool {
 	_, ok := c.memberStore().Get([]int{i, v})
 	return ok
 }
 
 // NextInBag returns the smallest member b′ ≥ b of bag i, using the
-// successor lookup of the Storing Theorem.
+// successor lookup of the Storing Theorem. Safe for concurrent use.
 func (c *Cover) NextInBag(i int, b graph.V) (graph.V, bool) {
 	key, _, ok := c.memberStore().NextGeq([]int{i, b})
 	if !ok || key[0] != i {
@@ -214,68 +410,92 @@ func (c *Cover) NextInBag(i int, b graph.V) (graph.V, bool) {
 // ComputeKernels computes the p-kernels K_p(X) = {a ∈ X : N_p(a) ⊆ X} of
 // every bag (Lemma 5.7: a multi-source BFS from the bag boundary inside
 // G[X]) and indexes them for constant-time membership and successor
-// queries. p must be ≤ R.
+// queries. p must be ≤ R. With a parallel cover the per-bag BFS runs
+// concurrently (each bag's kernel depends only on the bag and the graph);
+// the fan-in is ordered, so the kernels are identical to the sequential
+// ones.
 func (c *Cover) ComputeKernels(p int) {
 	if p < 0 || p > c.R {
 		panic(fmt.Sprintf("cover: kernel radius %d outside [0, %d]", p, c.R))
 	}
+	start := time.Now()
 	c.kernelP = p
 	c.kernels = make([][]graph.V, len(c.bags))
 	c.kernelOf = make([][]int32, c.g.N())
 
-	inBag := make([]int32, c.g.N()) // epoch marking: bag id, ~bag id = excluded
-	depth := make([]int32, c.g.N())
-	for i := range inBag {
-		inBag[i] = -1
-	}
-	var queue []graph.V
-	for i, bag := range c.bags {
-		epoch := int32(i)
-		excl := -epoch - 2 // distinct marker per bag, never the -1 init value
-		for _, v := range bag {
-			inBag[v] = epoch
+	scratches := make([]*kernelScratch, c.pool.Workers())
+	c.pool.ForEachWorker(len(c.bags), func(wk, i int) {
+		if scratches[wk] == nil {
+			scratches[wk] = newKernelScratch(c.g.N())
 		}
-		// Boundary: bag vertices with a neighbor outside the bag; they are
-		// at distance 1 from the complement.
-		queue = queue[:0]
-		for _, v := range bag {
-			for _, w := range c.g.Neighbors(v) {
-				if inBag[w] != epoch && inBag[w] != excl {
-					queue = append(queue, v)
-					depth[v] = 1
-					break
-				}
-			}
-		}
-		for _, v := range queue {
-			inBag[v] = excl
-		}
-		// BFS inside G[X]: a vertex at depth t has distance t to the
-		// complement; the kernel is {distance > p}.
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			if int(depth[v]) >= p {
-				continue
-			}
-			for _, w := range c.g.Neighbors(v) {
-				if inBag[w] == epoch {
-					inBag[w] = excl
-					depth[w] = depth[v] + 1
-					queue = append(queue, int(w))
-				}
-			}
-		}
-		var kern []graph.V
-		for _, v := range bag {
-			if inBag[v] == epoch {
-				kern = append(kern, v)
-			}
-		}
-		c.kernels[i] = kern // bag is sorted, so kern is sorted
+		c.kernels[i] = c.bagKernel(scratches[wk], c.bags[i], p)
+	})
+	for i, kern := range c.kernels {
 		for _, v := range kern {
 			c.kernelOf[v] = append(c.kernelOf[v], int32(i))
 		}
 	}
+	c.stats.KernelWall = time.Since(start)
+}
+
+// kernelScratch is the per-worker state of bagKernel: epoch-marked bag
+// membership (mark[v] == ep in bag, -ep excluded) plus the BFS queue.
+type kernelScratch struct {
+	mark  []int32
+	depth []int32
+	queue []graph.V
+	ep    int32
+}
+
+func newKernelScratch(n int) *kernelScratch {
+	return &kernelScratch{mark: make([]int32, n), depth: make([]int32, n)}
+}
+
+// bagKernel runs the Lemma 5.7 boundary BFS inside G[bag] and returns the
+// sorted p-kernel.
+func (c *Cover) bagKernel(sc *kernelScratch, bag []graph.V, p int) []graph.V {
+	sc.ep++
+	ep := sc.ep
+	for _, v := range bag {
+		sc.mark[v] = ep
+	}
+	// Boundary: bag vertices with a neighbor outside the bag; they are at
+	// distance 1 from the complement.
+	sc.queue = sc.queue[:0]
+	for _, v := range bag {
+		for _, w := range c.g.Neighbors(v) {
+			if sc.mark[w] != ep && sc.mark[w] != -ep {
+				sc.queue = append(sc.queue, v)
+				sc.depth[v] = 1
+				break
+			}
+		}
+	}
+	for _, v := range sc.queue {
+		sc.mark[v] = -ep
+	}
+	// BFS inside G[X]: a vertex at depth t has distance t to the
+	// complement; the kernel is {distance > p}.
+	for head := 0; head < len(sc.queue); head++ {
+		v := sc.queue[head]
+		if int(sc.depth[v]) >= p {
+			continue
+		}
+		for _, w := range c.g.Neighbors(v) {
+			if sc.mark[w] == ep {
+				sc.mark[w] = -ep
+				sc.depth[w] = sc.depth[v] + 1
+				sc.queue = append(sc.queue, int(w))
+			}
+		}
+	}
+	var kern []graph.V
+	for _, v := range bag {
+		if sc.mark[v] == ep {
+			kern = append(kern, v)
+		}
+	}
+	return kern // bag is sorted, so kern is sorted
 }
 
 // KernelP returns the kernel radius handed to ComputeKernels, or -1.
@@ -297,12 +517,13 @@ func (c *Cover) InKernel(i int, v graph.V) bool {
 }
 
 // KernelContains is InKernel served by the Storing-Theorem structure
-// (built lazily), kept as the paper-faithful access path.
+// (built lazily under a sync.Once, so concurrent readers are safe), kept
+// as the paper-faithful access path.
 func (c *Cover) KernelContains(i int, v graph.V) bool {
 	if c.kernelOf == nil {
 		panic("cover: ComputeKernels has not been called")
 	}
-	if c.kernelStore == nil {
+	c.kernelStoreOnce.Do(func() {
 		u := c.g.N()
 		if len(c.bags) > u {
 			u = len(c.bags)
@@ -310,13 +531,14 @@ func (c *Cover) KernelContains(i int, v graph.V) bool {
 		if u < 2 {
 			u = 2
 		}
-		c.kernelStore = store.New(u, 2, Epsilon)
+		ks := store.New(u, 2, Epsilon)
 		for i, kern := range c.kernels {
 			for _, v := range kern {
-				c.kernelStore.Set([]int{i, v}, 1)
+				ks.Set([]int{i, v}, 1)
 			}
 		}
-	}
+		c.kernelStore = ks
+	})
 	_, ok := c.kernelStore.Get([]int{i, v})
 	return ok
 }

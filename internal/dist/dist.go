@@ -15,14 +15,34 @@
 // MaxDepth levels (which does not happen on nowhere dense inputs), the
 // index falls back to on-demand truncated BFS; correctness is preserved
 // and the event is counted in Stats.
+//
+// # Parallel construction
+//
+// Per-bag work (graph.Induce, the splitter answer, the Step-4 BFS, and the
+// whole recursive sub-index) depends only on the graph, the cover, and the
+// bag — bags are independent, so Options.Workers > 1 builds them
+// concurrently with an ordered fan-in. To keep the parallel index
+// byte-identical to the sequential one, the work budget is split
+// deterministically *before* the fan-out: every bag subtree receives a
+// share of the remaining budget proportional to its size, instead of the
+// old first-come-first-served draw from a global counter (whose outcome
+// would depend on completion order). Sequential construction uses the
+// same per-subtree budgeting, so Workers=1 and Workers=N produce the same
+// structure decision for decision. The bounded-ball fast path (the whole
+// index for grids and bounded-degree graphs) shards its per-vertex ball
+// scans across workers in contiguous vertex ranges and stitches the CSR
+// arrays back in order.
 package dist
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/splitter"
 )
 
@@ -40,12 +60,16 @@ type Options struct {
 	// Used by tests and the ablation benchmarks.
 	DisableBallTable bool
 	// WorkBudget bounds the total vertices+edges processed across all
-	// recursion levels (default 256·‖G‖ + 2^20). When the budget is
-	// exhausted — which happens only when the input is not nowhere dense
-	// at the requested radius, so the splitter recursion stops shrinking
-	// arenas — remaining arenas fall back to on-demand BFS. Correctness is
-	// unaffected; Stats.Fallbacks counts the occurrences.
+	// recursion levels (default 256·‖G‖ + 2^20). It is split
+	// deterministically across recursion branches; when a branch's share
+	// is exhausted — which happens only when the input is not nowhere
+	// dense at the requested radius, so the splitter recursion stops
+	// shrinking arenas — that branch falls back to on-demand BFS.
+	// Correctness is unaffected; Stats.Fallbacks counts the occurrences.
 	WorkBudget int
+	// Workers bounds the construction parallelism. 0 and 1 select the
+	// sequential path; any value produces a byte-identical index.
+	Workers int
 }
 
 func (o Options) withDefaults(r int, g *graph.Graph) Options {
@@ -64,20 +88,39 @@ func (o Options) withDefaults(r int, g *graph.Graph) Options {
 	if o.WorkBudget == 0 {
 		o.WorkBudget = 256*g.Size() + 1<<20
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
 // Stats reports structural facts about a built index.
 type Stats struct {
-	Bags        int // total bags over all recursion levels
-	MaxDepth    int // deepest recursion level used
-	SmallLeaves int // arenas solved by truncated distance tables
-	Fallbacks   int // arenas that exhausted MaxDepth or the work budget
-	TableCells  int // total entries of all truncated distance tables
-	Work        int // vertices+edges processed across all levels
+	Bags        int           // total bags over all recursion levels
+	MaxDepth    int           // deepest recursion level used
+	SmallLeaves int           // arenas solved by truncated distance tables
+	Fallbacks   int           // arenas that exhausted MaxDepth or the work budget
+	TableCells  int           // total entries of all truncated distance tables
+	Work        int           // vertices+edges processed across all levels
+	Workers     int           // construction parallelism used
+	BuildWall   time.Duration // wall time of New
+}
+
+// merge folds a sub-build's counters into s (ordered fan-in: callers merge
+// in bag order, so the totals are deterministic).
+func (s *Stats) merge(o *Stats) {
+	s.Bags += o.Bags
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+	s.SmallLeaves += o.SmallLeaves
+	s.Fallbacks += o.Fallbacks
+	s.TableCells += o.TableCells
+	s.Work += o.Work
 }
 
 // Index answers dist(a,b) ≤ r′ queries for all r′ ≤ R in constant time.
+// Once built it is safe for concurrent use.
 type Index struct {
 	g *graph.Graph
 	R int
@@ -85,7 +128,7 @@ type Index struct {
 	// Exactly one of the following four layouts is active.
 	edgeless bool         // λ=1 base case: dist(a,b) ≤ rr iff a = b
 	small    *smallTable  // truncated distance table
-	fallback *graph.BFS   // MaxDepth exhausted: on-demand BFS
+	fallback *bfsPool     // MaxDepth/budget exhausted: on-demand BFS
 	cov      *cover.Cover // recursive layout
 	bags     []*bagIndex
 
@@ -100,6 +143,26 @@ type bagIndex struct {
 	inner *Index     // recursive index on prime.G
 }
 
+// bfsPool hands out per-goroutine BFS scratch for the on-demand fallback,
+// so concurrent Within calls do not share mutable search state.
+type bfsPool struct {
+	g *graph.Graph
+	p sync.Pool
+}
+
+func newBFSPool(g *graph.Graph) *bfsPool {
+	bp := &bfsPool{g: g}
+	bp.p.New = func() any { return graph.NewBFS(g) }
+	return bp
+}
+
+func (bp *bfsPool) distance(a, b graph.V, max int) int {
+	bfs := bp.p.Get().(*graph.BFS)
+	d := bfs.Distance(a, b, max)
+	bp.p.Put(bfs)
+	return d
+}
+
 // smallTable stores, per vertex of a small arena, the sorted list of
 // (vertex, distance) pairs of its r-ball — CSR layout, so the space is the
 // sum of ball sizes rather than n².
@@ -109,23 +172,113 @@ type smallTable struct {
 	d    []int8  // distances, aligned with ball
 }
 
-func newSmallTable(g *graph.Graph, r int) *smallTable {
-	t, _ := newSmallTableCapped(g, r, 1<<62)
+func newSmallTable(g *graph.Graph, r int, pool *par.Pool) *smallTable {
+	t, _ := newSmallTableCapped(g, r, 1<<62, pool)
 	return t
 }
 
 // newSmallTableCapped builds the ball-list table but aborts (returning
-// ok=false) once more than cap cells would be stored. The abort costs at
-// most O(cap) work, so optimistically attempting a table is safe.
-func newSmallTableCapped(g *graph.Graph, r, maxCells int) (*smallTable, bool) {
-	t := &smallTable{off: make([]int32, g.N()+1)}
+// ok=false) once more than maxCells cells would be stored. Sequentially
+// the abort costs at most O(maxCells) wasted work; in parallel each shard
+// aborts against the same cap, so waste stays O(workers·maxCells). The
+// abort decision — "the total cell count exceeds maxCells" — is a property
+// of g and r alone, and the CSR arrays are stitched in vertex order, so
+// the result is independent of the worker count.
+func newSmallTableCapped(g *graph.Graph, r, maxCells int, pool *par.Pool) (*smallTable, bool) {
+	if pool == nil || pool.Workers() <= 1 || g.N() < 1024 {
+		return smallTableRange(g, r, maxCells, 0, g.N(), nil)
+	}
+	nchunks := pool.Workers() * 4
+	if nchunks > g.N() {
+		nchunks = g.N()
+	}
+	chunkLen := (g.N() + nchunks - 1) / nchunks
+	type shard struct {
+		t  *smallTable
+		ok bool
+	}
+	shards := make([]shard, nchunks)
+	var abort abortFlag
+	pool.ForEach(nchunks, func(ci int) {
+		lo := ci * chunkLen
+		hi := lo + chunkLen
+		// ceil division can overshoot n when nchunks² > n; clamp both ends
+		// so trailing chunks degenerate to empty shards instead of lo > hi.
+		if lo > g.N() {
+			lo = g.N()
+		}
+		if hi > g.N() {
+			hi = g.N()
+		}
+		t, ok := smallTableRange(g, r, maxCells, lo, hi, &abort)
+		shards[ci] = shard{t, ok}
+		if !ok {
+			abort.set()
+		}
+	})
+	total := 0
+	for _, sh := range shards {
+		if !sh.ok {
+			return nil, false
+		}
+		total += len(sh.t.ball)
+	}
+	if total > maxCells {
+		return nil, false
+	}
+	out := &smallTable{
+		off:  make([]int32, g.N()+1),
+		ball: make([]int32, 0, total),
+		d:    make([]int8, 0, total),
+	}
+	v := 0
+	for _, sh := range shards {
+		base := int32(len(out.ball))
+		out.ball = append(out.ball, sh.t.ball...)
+		out.d = append(out.d, sh.t.d...)
+		for i := 1; i < len(sh.t.off); i++ {
+			v++
+			out.off[v] = base + sh.t.off[i]
+		}
+	}
+	return out, true
+}
+
+// abortFlag lets shards cut each other's losses once any shard overflows
+// the cell cap; it only ever turns an already-doomed computation short, so
+// checking it cannot change the (deterministic) outcome.
+type abortFlag struct {
+	mu   sync.Mutex
+	set_ bool
+}
+
+func (a *abortFlag) set() {
+	a.mu.Lock()
+	a.set_ = true
+	a.mu.Unlock()
+}
+
+func (a *abortFlag) get() bool {
+	a.mu.Lock()
+	v := a.set_
+	a.mu.Unlock()
+	return v
+}
+
+// smallTableRange builds the ball lists for vertices [lo, hi); off is
+// local (off[0] = 0 at vertex lo).
+func smallTableRange(g *graph.Graph, r, maxCells, lo, hi int, abort *abortFlag) (*smallTable, bool) {
+	t := &smallTable{off: make([]int32, hi-lo+1)}
 	bfs := graph.NewBFS(g)
 	type pair struct {
 		v int32
 		d int8
 	}
 	var scratch []pair
-	for v := 0; v < g.N(); v++ {
+	for v := lo; v < hi; v++ {
+		if abort != nil && abort.get() {
+			return nil, false
+		}
 		scratch = scratch[:0]
 		for _, w := range bfs.Ball(v, r) {
 			scratch = append(scratch, pair{w, int8(bfs.Dist(int(w)))})
@@ -138,7 +291,7 @@ func newSmallTableCapped(g *graph.Graph, r, maxCells int) (*smallTable, bool) {
 			t.ball = append(t.ball, p.v)
 			t.d = append(t.d, p.d)
 		}
-		t.off[v+1] = int32(len(t.ball))
+		t.off[v-lo+1] = int32(len(t.ball))
 	}
 	return t, true
 }
@@ -157,14 +310,21 @@ func New(g *graph.Graph, r int, opt Options) *Index {
 	if r < 1 {
 		panic(fmt.Sprintf("dist: radius %d < 1", r))
 	}
+	start := time.Now()
 	opt = opt.withDefaults(r, g)
+	pool := par.NewPool(opt.Workers)
 	stats := &Stats{}
-	ix := build(g, r, opt, 0, stats)
+	ix := build(g, r, opt, 0, stats, opt.WorkBudget, pool)
 	ix.stats = stats
+	stats.Workers = pool.Workers()
+	stats.BuildWall = time.Since(start)
 	return ix
 }
 
-func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats) *Index {
+// build constructs the index for one arena with the given work budget.
+// The pool is only used at depth 0 (bag fan-out and ball-table sharding);
+// recursive calls inside parallel bag tasks run sequentially.
+func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats, budget int, pool *par.Pool) *Index {
 	if depth > stats.MaxDepth {
 		stats.MaxDepth = depth
 	}
@@ -175,13 +335,14 @@ func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats) *Index {
 		return ix
 	}
 	stats.Work += g.Size()
-	if depth >= opt.MaxDepth || stats.Work > opt.WorkBudget {
-		ix.fallback = graph.NewBFS(g)
+	budget -= g.Size()
+	if depth >= opt.MaxDepth || budget < 0 {
+		ix.fallback = newBFSPool(g)
 		stats.Fallbacks++
 		return ix
 	}
 	if g.N() <= opt.SmallThreshold {
-		ix.small = newSmallTable(g, r)
+		ix.small = newSmallTable(g, r, pool)
 		stats.SmallLeaves++
 		stats.TableCells += ix.small.cells()
 		stats.Work += ix.small.cells()
@@ -192,7 +353,7 @@ func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats) *Index {
 	// attempt aborts after O(‖G‖) wasted work on hub-dominated graphs,
 	// which then proceed through the splitter recursion.
 	if !opt.DisableBallTable {
-		if tbl, ok := newSmallTableCapped(g, r, 24*g.Size()); ok {
+		if tbl, ok := newSmallTableCapped(g, r, 24*g.Size(), pool); ok {
 			ix.small = tbl
 			stats.SmallLeaves++
 			stats.TableCells += tbl.cells()
@@ -200,39 +361,62 @@ func build(g *graph.Graph, r int, opt Options, depth int, stats *Stats) *Index {
 			return ix
 		}
 		stats.Work += 24 * g.Size() // cost of the aborted attempt
+		budget -= 24 * g.Size()
 	}
-	ix.cov = cover.Compute(g, r)
+	coverWorkers := 1
+	if depth == 0 {
+		coverWorkers = pool.Workers()
+	}
+	ix.cov = cover.ComputeWith(g, r, cover.Options{Workers: coverWorkers})
 	stats.Work += ix.cov.SumBagSizes()
-	if stats.Work > opt.WorkBudget {
+	budget -= ix.cov.SumBagSizes()
+	if budget < 0 {
 		// The cover is too heavy (overlapping near-whole-graph bags): the
 		// recursion cannot make progress within budget. Truncated BFS per
 		// query costs O(‖N_r(a)‖), which on such arenas is of the same
 		// order as the table chain would have been.
 		ix.cov = nil
-		ix.fallback = graph.NewBFS(g)
+		ix.fallback = newBFSPool(g)
 		stats.Fallbacks++
 		return ix
 	}
-	stats.Bags += ix.cov.NumBags()
-	ix.bags = make([]*bagIndex, ix.cov.NumBags())
-	for i := 0; i < ix.cov.NumBags(); i++ {
-		if stats.Work > opt.WorkBudget {
-			// Budget exhausted mid-way: abandon the partial bag layout and
-			// serve this arena by truncated BFS instead.
-			ix.cov = nil
-			ix.bags = nil
-			ix.fallback = graph.NewBFS(g)
-			stats.Fallbacks++
-			return ix
+	nb := ix.cov.NumBags()
+	stats.Bags += nb
+	// Deterministic budget split: each bag subtree receives a share of the
+	// remaining budget proportional to its size (every bag has ≥ 1 vertex,
+	// and Σ shares ≤ budget).
+	shares := make([]int, nb)
+	total := ix.cov.SumBagSizes()
+	for i := 0; i < nb; i++ {
+		shares[i] = int(int64(budget) * int64(len(ix.cov.Bag(i))) / int64(total))
+	}
+	if pool.Workers() > 1 && nb > 1 && depth == 0 {
+		type sub struct {
+			b  *bagIndex
+			st Stats
 		}
-		ix.bags[i] = buildBag(g, ix.cov, i, r, opt, depth, stats)
+		subs := par.Map(pool, nb, func(i int) sub {
+			var st Stats
+			return sub{buildBag(g, ix.cov, i, r, opt, depth, &st, shares[i], par.Sequential()), st}
+		})
+		ix.bags = make([]*bagIndex, nb)
+		for i := range subs {
+			ix.bags[i] = subs[i].b
+			stats.merge(&subs[i].st)
+		}
+		return ix
+	}
+	ix.bags = make([]*bagIndex, nb)
+	for i := 0; i < nb; i++ {
+		ix.bags[i] = buildBag(g, ix.cov, i, r, opt, depth, stats, shares[i], pool)
 	}
 	return ix
 }
 
-func buildBag(g *graph.Graph, cov *cover.Cover, i, r int, opt Options, depth int, stats *Stats) *bagIndex {
+func buildBag(g *graph.Graph, cov *cover.Cover, i, r int, opt Options, depth int, stats *Stats, budget int, pool *par.Pool) *bagIndex {
 	sub := graph.Induce(g, cov.Bag(i))
 	stats.Work += sub.G.Size()
+	budget -= sub.G.Size()
 	// Splitter's answer when Connector plays the bag center in the
 	// (λ, 2r)-game on G — evaluated inside the bag, which contains
 	// N_{2r}(c_X) ∩ X; the strategy only needs a vertex of the ball.
@@ -258,7 +442,7 @@ func buildBag(g *graph.Graph, cov *cover.Cover, i, r int, opt Options, depth int
 		}
 	}
 	b.prime = graph.Induce(sub.G, rest)
-	b.inner = build(b.prime.G, r, opt, depth+1, stats)
+	b.inner = build(b.prime.G, r, opt, depth+1, stats, budget, pool)
 	return b
 }
 
@@ -269,7 +453,7 @@ func (ix *Index) Stats() Stats { return *ix.stats }
 func (ix *Index) Radius() int { return ix.R }
 
 // Within reports whether dist_G(a, b) ≤ rr, for any rr ≤ R. It implements
-// fo.DistTester.
+// fo.DistTester and is safe for concurrent use.
 func (ix *Index) Within(a, b graph.V, rr int) bool {
 	if rr > ix.R {
 		panic(fmt.Sprintf("dist: query radius %d exceeds index radius %d", rr, ix.R))
@@ -286,7 +470,7 @@ func (ix *Index) Within(a, b graph.V, rr int) bool {
 	case ix.small != nil:
 		return ix.small.within(a, b, rr)
 	case ix.fallback != nil:
-		return ix.fallback.Distance(a, b, rr) >= 0
+		return ix.fallback.distance(a, b, rr) >= 0
 	}
 	x := ix.cov.Assign(a)
 	bag := ix.bags[x]

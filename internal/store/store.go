@@ -41,7 +41,8 @@ type Cell struct {
 }
 
 // Store is the Storing-Theorem structure for one k-ary partial function.
-// It is not safe for concurrent mutation.
+// It is not safe for concurrent mutation; once built, the read operations
+// (Get, Lookup, NextGeq, NextGt, Min) are safe for concurrent use.
 type Store struct {
 	n  int // universe size: coordinates range over [0, n)
 	k  int // arity
@@ -187,10 +188,22 @@ func (s *Store) maxKey() int64 {
 // (false, 0, succ) otherwise, where succ = min{x ∈ Dom : x > key} (or
 // nullKey).
 func (s *Store) access(key int64) (bool, int64, int64) {
-	s.decompose(key, s.dig1)
+	// The read path must not touch the shared dig1/dig2 scratch: lookups
+	// may run from many goroutines at once (bag membership and kernel
+	// tests during parallel preprocessing and concurrent query answering),
+	// and only mutations are documented as single-threaded. A small stack
+	// buffer keeps Access allocation-free for every practical depth.
+	var buf [64]int
+	var dig []int
+	if s.kh <= len(buf) {
+		dig = buf[:s.kh]
+	} else {
+		dig = make([]int, s.kh)
+	}
+	s.decompose(key, dig)
 	l := int64(1)
 	for i := 0; i < s.kh; i++ {
-		c := s.cells[l+int64(s.dig1[i])]
+		c := s.cells[l+int64(dig[i])]
 		if c.Delta == 0 {
 			return false, 0, c.R
 		}

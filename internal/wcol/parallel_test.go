@@ -1,0 +1,36 @@
+package wcol
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestWReachCountsWorkersIdentical asserts sharded scans produce exactly
+// the sequential counts for every worker count.
+func TestWReachCountsWorkersIdentical(t *testing.T) {
+	ns := []int{40, 700}
+	if testing.Short() {
+		ns = []int{40, 160}
+	}
+	for _, class := range []gen.Class{gen.Path, gen.Grid, gen.RandomTree,
+		gen.BoundedDegree, gen.SparseRandom, gen.Clique} {
+		for _, n := range ns {
+			g := gen.Generate(class, n, gen.Options{Seed: 2})
+			order := DegeneracyOrder(g)
+			for _, r := range []int{1, 2, 3} {
+				want := WReachCounts(g, order, r)
+				for _, workers := range []int{2, 4, 7} {
+					got, st := WReachCountsWorkers(g, order, r, workers)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s n=%d r=%d w=%d: counts differ", class, n, r, workers)
+					}
+					if st.Workers < 1 {
+						t.Fatalf("Stats.Workers = %d", st.Workers)
+					}
+				}
+			}
+		}
+	}
+}

@@ -133,19 +133,34 @@ func (q *Query) compile() (*core.LocalQuery, error) {
 }
 
 // Index is the preprocessed structure of Theorem 2.3 for one graph and one
-// query. It is not safe for concurrent use.
+// query. Once built, its query methods are safe for concurrent use.
 type Index struct {
 	e *core.Engine
 	k int
 }
 
-// BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3.
+// IndexOptions tunes BuildIndexOpt.
+type IndexOptions struct {
+	// Parallelism bounds the preprocessing worker count. 0 (the default)
+	// selects runtime.GOMAXPROCS(0); 1 forces the sequential build. The
+	// resulting index is identical for every setting — parallelism only
+	// changes build wall time.
+	Parallelism int
+}
+
+// BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3,
+// using all available CPUs.
 func BuildIndex(g *Graph, q *Query) (*Index, error) {
+	return BuildIndexOpt(g, q, IndexOptions{})
+}
+
+// BuildIndexOpt is BuildIndex with explicit options.
+func BuildIndexOpt(g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 	lq, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Preprocess(g, lq, core.Options{})
+	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Verification tiers (see README "Testing"):
+#   tier 1 — build + full test suite (the CI gate; ROADMAP "Tier-1 verify")
+#   tier 2 — vet + race-detector pass over the concurrency-sensitive suite,
+#            in -short mode so it stays a minutes-not-hours check
+#
+#   scripts/verify.sh          # both tiers
+#   scripts/verify.sh 1        # tier 1 only
+#   scripts/verify.sh 2        # tier 2 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tier="${1:-all}"
+
+if [[ "$tier" == "1" || "$tier" == "all" ]]; then
+    echo "== tier 1: go build ./... && go test ./... =="
+    go build ./...
+    go test ./...
+fi
+
+if [[ "$tier" == "2" || "$tier" == "all" ]]; then
+    echo "== tier 2: go vet ./... && go test -race -short ./... =="
+    go vet ./...
+    go test -race -short ./...
+fi
+
+echo "verify: OK (tier $tier)"
