@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xbench"
+)
+
+// runE15 is the enumeration-delay profiler: it measures, per graph class
+// and size, the full per-answer delay distribution of Enumerate (the
+// engine.delay_ns histogram of Corollary 2.5) and the latency of random
+// NextGeq probes (Theorem 2.3), and writes them as machine-readable
+// artifacts:
+//
+//	BENCH_delay.json    per-answer delay + NextGeq histograms (p50/p90/p99/max)
+//	BENCH_preproc.json  preprocessing phase breakdown (dist/cover/kernel/starter/skip)
+//
+// The constant-delay claim predicts max and p99 flat as n grows within a
+// class; the preprocessing claim predicts total ≈ n^(1+ε). Both files are
+// regression-trackable: re-run with the same flags and diff the shapes.
+func runE15(quick bool) {
+	classes := []string{"grid", "btree"}
+	sizes := []int{4000, 16000, 64000}
+	enumLimit := 50000
+	probes := 3000
+	if quick {
+		sizes = []int{2000, 8000}
+		enumLimit = 20000
+		probes = 1000
+	}
+
+	delayOut := delayFile{
+		Experiment: "E15",
+		Claim:      "Corollary 2.5: constant delay — max/p99 per-answer delay flat as n grows",
+		Query:      benchQuery,
+		Quick:      quick,
+		Parallel:   parallelism,
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	preprocOut := preprocFile{
+		Experiment: "E15",
+		Claim:      "Theorem 2.3: pseudo-linear preprocessing — total_ns ≈ n^(1+ε)",
+		Query:      benchQuery,
+		Quick:      quick,
+		Parallel:   parallelism,
+	}
+
+	t := newDelayTable()
+	for _, class := range classes {
+		for _, n := range sizes {
+			rec, pre := profileDelay(class, n, enumLimit, probes)
+			delayOut.Records = append(delayOut.Records, rec)
+			preprocOut.Records = append(preprocOut.Records, pre)
+			t.Add(class, rec.N, rec.Solutions,
+				ns(rec.Delay.P50), ns(rec.Delay.P99), ns(rec.Delay.Max),
+				ns(rec.NextGeq.P99), time.Duration(pre.TotalNS))
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nshape: delay p99/max flat in n per class; preprocessing grows ≈ linearly.")
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "fodbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range []struct {
+		name string
+		v    any
+	}{
+		{"BENCH_delay.json", delayOut},
+		{"BENCH_preproc.json", preprocOut},
+	} {
+		path := filepath.Join(outDir, f.name)
+		if err := writeBenchJSON(path, f.v); err != nil {
+			fmt.Fprintf(os.Stderr, "fodbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// profileDelay builds one instrumented engine and drains its delay and
+// NextGeq histograms.
+func profileDelay(class string, n, enumLimit, probes int) (delayRecord, preprocRecord) {
+	reg := obs.New()
+	g, e, _, _ := buildEngineObs(class, n, benchQuery, reg, "x", "y")
+	st := e.Stats()
+
+	count := 0
+	e.Enumerate(func([]int) bool {
+		count++
+		return count < enumLimit
+	})
+
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < probes; i++ {
+		e.NextGeq([]int{rng.Intn(g.N()), rng.Intn(g.N())})
+	}
+
+	snap := reg.Snapshot()
+	rec := delayRecord{
+		Class:     class,
+		N:         g.N(),
+		M:         g.M(),
+		Solutions: count,
+		Delay:     snap.Histograms["engine.delay_ns"],
+		NextGeq:   snap.Histograms["engine.next_geq_ns"],
+	}
+	pre := preprocRecord{
+		Class:   class,
+		N:       g.N(),
+		M:       g.M(),
+		TotalNS: (st.DistWall + st.CoverWall + st.KernelWall + st.StarterWall + st.SkipWall).Nanoseconds(),
+		Phases: map[string]int64{
+			"dist":    st.DistWall.Nanoseconds(),
+			"cover":   st.CoverWall.Nanoseconds(),
+			"kernel":  st.KernelWall.Nanoseconds(),
+			"starter": st.StarterWall.Nanoseconds(),
+			"skip":    st.SkipWall.Nanoseconds(),
+		},
+		CoverBags:    st.CoverBags,
+		SkipPointers: st.SkipPointers,
+		Workers:      st.Workers,
+	}
+	return rec, pre
+}
+
+// delayFile is the schema of BENCH_delay.json (documented in README
+// "Observability"). All durations are nanoseconds.
+type delayFile struct {
+	Experiment string        `json:"experiment"`
+	Claim      string        `json:"claim"`
+	Query      string        `json:"query"`
+	Quick      bool          `json:"quick"`
+	Parallel   int           `json:"parallel"`
+	NumCPU     int           `json:"num_cpu"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Records    []delayRecord `json:"records"`
+}
+
+type delayRecord struct {
+	Class     string                `json:"class"`
+	N         int                   `json:"n"`
+	M         int                   `json:"m"`
+	Solutions int                   `json:"solutions"`
+	Delay     obs.HistogramSnapshot `json:"delay"`    // per-answer Enumerate delay
+	NextGeq   obs.HistogramSnapshot `json:"next_geq"` // random-probe NextGeq latency
+}
+
+// preprocFile is the schema of BENCH_preproc.json.
+type preprocFile struct {
+	Experiment string          `json:"experiment"`
+	Claim      string          `json:"claim"`
+	Query      string          `json:"query"`
+	Quick      bool            `json:"quick"`
+	Parallel   int             `json:"parallel"`
+	Records    []preprocRecord `json:"records"`
+}
+
+type preprocRecord struct {
+	Class        string           `json:"class"`
+	N            int              `json:"n"`
+	M            int              `json:"m"`
+	TotalNS      int64            `json:"total_ns"`
+	Phases       map[string]int64 `json:"phases_ns"`
+	CoverBags    int              `json:"cover_bags"`
+	SkipPointers int              `json:"skip_pointers"`
+	Workers      int              `json:"workers"`
+}
+
+func newDelayTable() *xbench.Table {
+	return xbench.NewTable("class", "n", "answers", "delay p50", "delay p99", "delay max", "NextGeq p99", "preproc")
+}
+
+func ns(v int64) time.Duration { return time.Duration(v) }
+
+// writeBenchJSON writes v as indented JSON, atomically enough for a
+// benchmark artifact (write then rename would be overkill here).
+func writeBenchJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/naive"
+	"repro/internal/obs"
 	"repro/internal/xbench"
 )
 
@@ -20,6 +21,14 @@ import (
 const benchQuery = "dist(x,y) > 2 & C0(y)"
 
 func buildEngine(class string, n int, query string, vars ...string) (*graph.Graph, *core.Engine, *core.LocalQuery, time.Duration) {
+	// Every experiment engine records into benchReg so that -debug-addr
+	// exposes live aggregate metrics while the experiments run.
+	return buildEngineObs(class, n, query, benchReg, vars...)
+}
+
+// buildEngineObs is buildEngine with an explicit metrics registry (E15
+// uses a fresh registry per run so histograms don't mix across sizes).
+func buildEngineObs(class string, n int, query string, reg *obs.Registry, vars ...string) (*graph.Graph, *core.Engine, *core.LocalQuery, time.Duration) {
 	g := gen.Generate(gen.Class(class), n, gen.Options{Seed: 7, Colors: 1, ColorProb: 0.05})
 	phi := fo.MustParse(query)
 	vs := make([]fo.Var, len(vars))
@@ -32,7 +41,7 @@ func buildEngine(class string, n int, query string, vars ...string) (*graph.Grap
 	}
 	var e *core.Engine
 	pre := xbench.Time(func() {
-		e, err = core.Preprocess(g, lq, core.Options{Parallelism: parallelism})
+		e, err = core.Preprocess(g, lq, core.Options{Parallelism: parallelism, Obs: reg})
 		if err != nil {
 			panic(err)
 		}

@@ -29,6 +29,8 @@ func main() {
 	nextTuple := flag.String("next", "", "print the smallest solution ≥ this comma-separated tuple")
 	explain := flag.Bool("explain", false, "print the compiled plan and index structure, then exit")
 	parallel := flag.Int("parallel", 0, "preprocessing workers (0 = all CPUs, 1 = sequential)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (expvar), /debug/metrics (JSON) and /debug/pprof on this address, e.g. localhost:6060")
+	metrics := flag.Bool("metrics", false, "print the metrics JSON snapshot to stderr when done")
 	flag.Parse()
 
 	if *query == "" || *vars == "" {
@@ -52,8 +54,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var reg *repro.Metrics
+	if *debugAddr != "" || *metrics {
+		reg = repro.NewMetrics()
+	}
+	if *debugAddr != "" {
+		ln, err := repro.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fodenum: debug server on http://%s/debug/vars (also /debug/metrics, /debug/pprof)\n", ln.Addr())
+	}
 	start := time.Now()
-	ix, err := repro.BuildIndexOpt(g, q, repro.IndexOptions{Parallelism: *parallel})
+	ix, err := repro.BuildIndexOpt(g, q, repro.IndexOptions{Parallelism: *parallel, Metrics: reg})
 	if err != nil {
 		fail(err)
 	}
@@ -83,6 +96,11 @@ func main() {
 			return *limit == 0 || printed < *limit
 		})
 		fmt.Fprintf(os.Stderr, "fodenum: %d solutions\n", printed)
+	}
+	if *metrics {
+		if err := reg.WriteJSON(os.Stderr); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/skip"
@@ -11,8 +12,20 @@ import (
 // NextGeq is the main primitive of Theorem 2.3: it returns the
 // lexicographically smallest solution ā′ ≥ ā, or ok=false if none exists.
 // Per the paper's answering phase, the smallest matching tuple is computed
-// for every clause (τ, i) and the minimum is returned.
+// for every clause (τ, i) and the minimum is returned. When the engine is
+// instrumented, every call's latency lands in the engine.next_geq_ns
+// histogram; uninstrumented engines pay one nil check.
 func (e *Engine) NextGeq(a []graph.V) ([]graph.V, bool) {
+	if h := e.instr.nextGeq; h != nil {
+		start := time.Now()
+		sol, ok := e.nextGeq(a)
+		h.Observe(time.Since(start))
+		return sol, ok
+	}
+	return e.nextGeq(a)
+}
+
+func (e *Engine) nextGeq(a []graph.V) ([]graph.V, bool) {
 	if len(a) != e.k {
 		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
 	}
@@ -41,11 +54,23 @@ func (e *Engine) NextGt(a []graph.V) ([]graph.V, bool) {
 	return e.NextGeq(succ)
 }
 
-// NextLast implements Lemma 5.2: for a fixed (k−1)-prefix ā it returns
+// NextLast implements Lemma 5.2; see nextLast. Instrumented engines
+// record per-call latency into engine.next_last_ns.
+func (e *Engine) NextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
+	if h := e.instr.nextLast; h != nil {
+		start := time.Now()
+		v, ok := e.nextLast(prefix, b)
+		h.Observe(time.Since(start))
+		return v, ok
+	}
+	return e.nextLast(prefix, b)
+}
+
+// nextLast implements Lemma 5.2: for a fixed (k−1)-prefix ā it returns
 // the smallest b′ ≥ b with (ā, b′) ∈ q(G), in constant time. This is the
 // induction step the paper nests with Theorem 5.1, and the natural
 // "page through partners of ā" primitive for applications.
-func (e *Engine) NextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
+func (e *Engine) nextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
 	if len(prefix) != e.k-1 {
 		panic(fmt.Sprintf("core: prefix arity %d, want %d", len(prefix), e.k-1))
 	}
@@ -94,8 +119,19 @@ func (e *Engine) prefixMatches(rt *clauseRT, prefix []graph.V) bool {
 }
 
 // Test implements Corollary 2.4: constant-time membership of ā in the
-// query result.
+// query result. Instrumented engines record per-call latency into
+// engine.test_ns.
 func (e *Engine) Test(a []graph.V) bool {
+	if h := e.instr.test; h != nil {
+		start := time.Now()
+		ok := e.test(a)
+		h.Observe(time.Since(start))
+		return ok
+	}
+	return e.test(a)
+}
+
+func (e *Engine) test(a []graph.V) bool {
 	if len(a) != e.k {
 		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
 	}
@@ -130,13 +166,27 @@ func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
 // Enumerate implements Corollary 2.5: it yields every solution exactly
 // once, in increasing lexicographic order, until exhaustion or until yield
 // returns false. The tuple passed to yield is reused; copy it to retain it.
+//
+// On an instrumented engine every iteration's answer-production time (the
+// NextGeq step — the paper's "delay", excluding the caller's yield body)
+// is recorded into the engine.delay_ns histogram, which is what the
+// fodbench delay profiler reports against the constant-delay claim.
 func (e *Engine) Enumerate(yield func([]graph.V) bool) {
 	if e.g.N() == 0 {
 		return
 	}
+	h := e.instr.delay
 	cur := make([]graph.V, e.k)
 	for {
-		sol, ok := e.NextGeq(cur)
+		var sol []graph.V
+		var ok bool
+		if h != nil {
+			start := time.Now()
+			sol, ok = e.nextGeq(cur)
+			h.Observe(time.Since(start))
+		} else {
+			sol, ok = e.nextGeq(cur)
+		}
 		if !ok {
 			return
 		}

@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cover"
 	"repro/internal/dist"
 	"repro/internal/fo"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/skip"
 )
@@ -24,6 +24,16 @@ type Options struct {
 	// bit. Any value yields an identical engine — parallelism changes
 	// wall time, never the structure or the answers.
 	Parallelism int
+	// Obs, when non-nil, turns on full instrumentation: the preprocessing
+	// phases are traced as nested spans (preprocess.dist → .cover →
+	// .kernel → .starter → .skip), the answering counters are exported as
+	// engine.* counters, per-call latency histograms are recorded for
+	// NextGeq/Test/NextLast, and Enumerate records the per-answer delay
+	// distribution of Corollary 2.5 into engine.delay_ns. The registry is
+	// also threaded into the cover, distance-index, and worker-pool
+	// builds. Nil (the default) keeps the answering hot path free of any
+	// timing work — each instrument sits behind a single nil check.
+	Obs *obs.Registry
 }
 
 // Stats reports preprocessing facts and running counters of the answering
@@ -47,14 +57,26 @@ type Stats struct {
 	SkipWall    time.Duration // wall time of skip-pointer construction
 }
 
-// counters holds the answering-phase statistics as atomics, so concurrent
-// queries can bump them without a lock; Stats() folds them into the
-// snapshot it returns.
+// counters holds the answering-phase statistics as registry-compatible
+// atomic instruments, so concurrent queries can bump them without a lock;
+// Stats() folds them into the snapshot it returns, and Preprocess
+// registers them in Options.Obs (when provided) so live scrapes see the
+// same numbers with no double counting.
 type counters struct {
-	candidates    atomic.Int64
-	deadEnds      atomic.Int64
-	localEvals    atomic.Int64
-	localEvalHits atomic.Int64
+	candidates    obs.Counter
+	deadEnds      obs.Counter
+	localEvals    obs.Counter
+	localEvalHits obs.Counter
+}
+
+// instruments are the optional answering-phase latency histograms. All
+// fields are nil unless Options.Obs was provided — the nil check is the
+// disabled fast path.
+type instruments struct {
+	nextGeq  *obs.Histogram // NextGeq call latency
+	nextLast *obs.Histogram // NextLast call latency
+	test     *obs.Histogram // Test call latency
+	delay    *obs.Histogram // per-answer delay inside Enumerate (Cor. 2.5)
 }
 
 // Engine is the preprocessed structure of Theorem 2.3 for one graph and one
@@ -81,6 +103,8 @@ type Engine struct {
 	ballRCache sync.Map // graph.V -> []graph.V, radius R
 	stats      Stats
 	ctr        counters
+	instr      instruments
+	obsReg     *obs.Registry // nil when built without Options.Obs
 }
 
 // scratchPool hands out per-goroutine BFS scratch bound to one graph.
@@ -134,11 +158,12 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	if q.K > skip.MaxSetSize+1 {
 		return nil, fmt.Errorf("core: arity %d exceeds supported maximum %d", q.K, skip.MaxSetSize+1)
 	}
-	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius}
+	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius, obsReg: opt.Obs}
 	workers := par.Resolve(opt.Parallelism)
-	pool := par.NewPool(workers)
+	pool := par.NewPool(workers).WithMetrics(par.NewMetrics(opt.Obs, "engine.pool"))
 	e.stats.Workers = workers
 	e.gbfs = newScratchPool(g)
+	root := opt.Obs.Span("preprocess")
 
 	// Distance index (Proposition 4.2) for the type tests dist ≤ R and —
 	// on guarded queries — for the distance atoms inside the component
@@ -155,9 +180,12 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	if distOpt.Workers == 0 {
 		distOpt.Workers = workers
 	}
-	t0 := time.Now()
+	if distOpt.Obs == nil {
+		distOpt.Obs = opt.Obs
+	}
+	sp := root.Child("dist")
 	e.dix = dist.New(g, distR, distOpt)
-	e.stats.DistWall = time.Since(t0)
+	e.stats.DistWall = sp.End()
 	e.evPool.New = func() any {
 		ev := fo.NewEvaluator(g)
 		ev.UseDistTester(e.dix)
@@ -177,12 +205,12 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 			coverR = alt
 		}
 	}
-	t0 = time.Now()
-	e.cov = cover.ComputeWith(g, coverR, cover.Options{Workers: workers})
-	e.stats.CoverWall = time.Since(t0)
-	t0 = time.Now()
+	sp = root.Child("cover")
+	e.cov = cover.ComputeWith(g, coverR, cover.Options{Workers: workers, Obs: opt.Obs})
+	e.stats.CoverWall = sp.End()
+	sp = root.Child("kernel")
 	e.cov.ComputeKernels(e.r)
-	e.stats.KernelWall = time.Since(t0)
+	e.stats.KernelWall = sp.End()
 	e.stats.CoverRadius = coverR
 	e.stats.CoverBags = e.cov.NumBags()
 	e.stats.CoverDegree = e.cov.Degree()
@@ -212,16 +240,46 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	}
 
 	for ci := range live {
-		rt, err := e.buildClause(&live[ci], pool)
+		rt, err := e.buildClause(&live[ci], pool, root)
 		if err != nil {
 			return nil, err
 		}
 		e.clauses = append(e.clauses, rt)
 	}
+	root.End()
+	e.exportInstruments(opt.Obs)
 	return e, nil
 }
 
-func (e *Engine) buildClause(cl *Clause, pool *par.Pool) (*clauseRT, error) {
+// exportInstruments registers the engine's always-on counters in reg,
+// publishes structural gauges, and creates the answering-phase latency
+// histograms. A nil registry leaves the engine uninstrumented (every
+// histogram pointer stays nil, so the hot path pays one branch per call).
+func (e *Engine) exportInstruments(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("engine.candidates", &e.ctr.candidates)
+	reg.RegisterCounter("engine.dead_ends", &e.ctr.deadEnds)
+	reg.RegisterCounter("engine.local_evals", &e.ctr.localEvals)
+	reg.RegisterCounter("engine.local_eval_hits", &e.ctr.localEvalHits)
+	reg.Gauge("engine.workers").Set(int64(e.stats.Workers))
+	reg.Gauge("engine.cover_bags").Set(int64(e.stats.CoverBags))
+	reg.Gauge("engine.cover_degree").Set(int64(e.stats.CoverDegree))
+	reg.Gauge("engine.cover_radius").Set(int64(e.stats.CoverRadius))
+	reg.Gauge("engine.skip_pointers").Set(int64(e.stats.SkipPointers))
+	reg.Gauge("engine.clauses").Set(int64(len(e.clauses)))
+	e.instr.nextGeq = reg.Histogram("engine.next_geq_ns")
+	e.instr.nextLast = reg.Histogram("engine.next_last_ns")
+	e.instr.test = reg.Histogram("engine.test_ns")
+	e.instr.delay = reg.Histogram("engine.delay_ns")
+}
+
+// Obs returns the registry the engine records into (nil when built
+// without Options.Obs).
+func (e *Engine) Obs() *obs.Registry { return e.obsReg }
+
+func (e *Engine) buildClause(cl *Clause, pool *par.Pool, trace *obs.Span) (*clauseRT, error) {
 	rt := &clauseRT{
 		clause:  cl,
 		compOf:  make([]int, e.k),
@@ -240,14 +298,14 @@ func (e *Engine) buildClause(cl *Clause, pool *par.Pool) (*clauseRT, error) {
 			rt.compOf[p] = li
 			rt.firstOf[p] = lf.Positions[0]
 		}
-		t0 := time.Now()
+		sp := trace.Child("starter")
 		e.computeStarter(c, pool)
-		e.stats.StarterWall += time.Since(t0)
+		e.stats.StarterWall += sp.End()
 		e.stats.StarterSizes = append(e.stats.StarterSizes, len(c.starter))
 		if e.k >= 2 {
-			t0 = time.Now()
+			sp = trace.Child("skip")
 			c.skip = skip.New(e.g, e.cov, e.k-1, c.starter)
-			e.stats.SkipWall += time.Since(t0)
+			e.stats.SkipWall += sp.End()
 			e.stats.SkipPointers += c.skip.Size()
 		}
 		e.buildKernelLists(c, pool)
@@ -464,9 +522,13 @@ func tupleKey(vals []graph.V) string {
 	return string(b)
 }
 
-// Stats returns a snapshot of the current statistics.
+// Stats returns a snapshot of the current statistics. The snapshot is
+// fully isolated: slice-typed fields are deep-copied, so neither engine
+// internals nor other snapshots can observe mutations of the returned
+// value (and vice versa).
 func (e *Engine) Stats() Stats {
 	s := e.stats
+	s.StarterSizes = append([]int(nil), e.stats.StarterSizes...)
 	s.Candidates = int(e.ctr.candidates.Load())
 	s.DeadEnds = int(e.ctr.deadEnds.Load())
 	s.LocalEvals = int(e.ctr.localEvals.Load())

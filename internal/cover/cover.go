@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/store"
 )
@@ -48,6 +49,12 @@ type Options struct {
 	// sequential path; the parallel path (≥ 2) produces byte-identical
 	// covers.
 	Workers int
+	// Obs, when non-nil, receives construction metrics: counters
+	// cover.balls_computed / cover.balls_wasted, gauges cover.bags /
+	// cover.degree, wall-time histograms cover.compute_ns /
+	// cover.kernels_ns, and pool metrics under cover.pool.*. Nil disables
+	// all recording at zero cost.
+	Obs *obs.Registry
 }
 
 // Stats reports construction facts: parallelism used, speculation
@@ -80,8 +87,9 @@ type Cover struct {
 	kernelStore     *store.Store // (bag, vertex) ↦ 1 for kernel membership
 	kernelOf        [][]int32    // sorted bag indices whose kernel contains v
 
-	pool  *par.Pool
-	stats Stats
+	pool   *par.Pool
+	stats  Stats
+	obsReg *obs.Registry // nil when unobserved
 }
 
 // Epsilon is the trie parameter handed to the Storing-Theorem structures.
@@ -104,7 +112,8 @@ func ComputeWith(g *graph.Graph, r int, opt Options) *Cover {
 		workers = 1
 	}
 	start := time.Now()
-	c := &Cover{g: g, R: r, S: 2 * r, kernelP: -1, pool: par.NewPool(workers)}
+	c := &Cover{g: g, R: r, S: 2 * r, kernelP: -1, pool: par.NewPool(workers), obsReg: opt.Obs}
+	c.pool = c.pool.WithMetrics(par.NewMetrics(opt.Obs, "cover.pool"))
 	c.stats.Workers = c.pool.Workers()
 	c.assign = make([]int32, g.N())
 	for i := range c.assign {
@@ -118,6 +127,13 @@ func ComputeWith(g *graph.Graph, r int, opt Options) *Cover {
 	c.stats.BallsWasted = c.stats.BallsComputed - len(c.bags)
 	c.buildMembership()
 	c.stats.ComputeWall = time.Since(start)
+	if reg := c.obsReg; reg != nil {
+		reg.Counter("cover.balls_computed").Add(int64(c.stats.BallsComputed))
+		reg.Counter("cover.balls_wasted").Add(int64(c.stats.BallsWasted))
+		reg.Gauge("cover.bags").Set(int64(len(c.bags)))
+		reg.Gauge("cover.degree").Set(int64(c.Degree()))
+		reg.Histogram("cover.compute_ns").Observe(c.stats.ComputeWall)
+	}
 	return c
 }
 
@@ -436,6 +452,9 @@ func (c *Cover) ComputeKernels(p int) {
 		}
 	}
 	c.stats.KernelWall = time.Since(start)
+	if reg := c.obsReg; reg != nil {
+		reg.Histogram("cover.kernels_ns").Observe(c.stats.KernelWall)
+	}
 }
 
 // kernelScratch is the per-worker state of bagKernel: epoch-marked bag

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/cover"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/splitter"
 )
@@ -70,6 +71,13 @@ type Options struct {
 	// Workers bounds the construction parallelism. 0 and 1 select the
 	// sequential path; any value produces a byte-identical index.
 	Workers int
+	// Obs, when non-nil, receives the aggregate build metrics: counters
+	// dist.bags / dist.fallbacks / dist.small_leaves / dist.table_cells /
+	// dist.work, the histogram dist.build_ns, and pool metrics under
+	// dist.pool.*. The recursive sub-builds are folded into these
+	// aggregates (they share the Stats), not reported per level. Nil
+	// disables all recording at zero cost.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(r int, g *graph.Graph) Options {
@@ -312,12 +320,21 @@ func New(g *graph.Graph, r int, opt Options) *Index {
 	}
 	start := time.Now()
 	opt = opt.withDefaults(r, g)
-	pool := par.NewPool(opt.Workers)
+	pool := par.NewPool(opt.Workers).WithMetrics(par.NewMetrics(opt.Obs, "dist.pool"))
 	stats := &Stats{}
 	ix := build(g, r, opt, 0, stats, opt.WorkBudget, pool)
 	ix.stats = stats
 	stats.Workers = pool.Workers()
 	stats.BuildWall = time.Since(start)
+	if reg := opt.Obs; reg != nil {
+		reg.Counter("dist.bags").Add(int64(stats.Bags))
+		reg.Counter("dist.fallbacks").Add(int64(stats.Fallbacks))
+		reg.Counter("dist.small_leaves").Add(int64(stats.SmallLeaves))
+		reg.Counter("dist.table_cells").Add(int64(stats.TableCells))
+		reg.Counter("dist.work").Add(int64(stats.Work))
+		reg.Gauge("dist.max_depth").Max(int64(stats.MaxDepth))
+		reg.Histogram("dist.build_ns").Observe(stats.BuildWall)
+	}
 	return ix
 }
 

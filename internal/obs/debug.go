@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.Handler serving the standard debug surface:
+//
+//	/debug/vars        expvar (includes every registry published with Publish)
+//	/debug/metrics     indented JSON snapshot of reg
+//	/debug/pprof/...   net/http/pprof profiles (cpu, heap, goroutine, …)
+//
+// A private mux is used instead of http.DefaultServeMux so importing this
+// package never mutates global handler state.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug publishes reg under the expvar name "repro" and serves
+// DebugMux on addr (e.g. "localhost:6060"; use ":0" for an ephemeral
+// port) in a background goroutine. It returns the bound listener so the
+// caller can report the actual address. The server lives until the
+// process exits or the listener is closed.
+func ServeDebug(addr string, reg *Registry) (net.Listener, error) {
+	reg.Publish("repro")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

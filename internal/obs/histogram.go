@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket 0 holds
+// exact zeros; bucket b (1 ≤ b < NumBuckets−1) holds values in
+// [2^(b−1), 2^b − 1] nanoseconds; the last bucket is the overflow bucket.
+// 2^(NumBuckets−2) ns ≈ 4.6 minutes, far beyond any per-answer delay.
+const NumBuckets = 40
+
+// Histogram is a fixed-size, log₂-spaced latency histogram over
+// nanoseconds. Recording is lock-free: one atomic add into the value's
+// bucket, one atomic add to the running sum, and a CAS loop that tracks
+// the exact maximum. The zero value is ready to use; a nil *Histogram is
+// a sink.
+//
+// Quantiles are extracted from the bucket counts and are therefore upper
+// bounds with ≤ 2× resolution (the bucket's upper edge) — exactly the
+// fidelity needed to tell "constant delay" from "growing delay", which is
+// what the Corollary 2.5 profiler asks of it.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) // ns in [2^(b-1), 2^b - 1]
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper edge of bucket b in ns.
+func bucketUpper(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 63 {
+		return int64(1)<<62 - 1
+	}
+	return int64(1)<<b - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(d.Nanoseconds()) }
+
+// ObserveNS records one nanosecond value.
+func (h *Histogram) ObserveNS(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot captures the histogram with derived quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	counts := make([]int64, NumBuckets)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / s.Count
+	s.P50 = quantile(counts, s.Count, s.Max, 0.50)
+	s.P90 = quantile(counts, s.Count, s.Max, 0.90)
+	s.P99 = quantile(counts, s.Count, s.Max, 0.99)
+	for b, n := range counts {
+		if n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{LE: bucketUpper(b), N: n})
+		}
+	}
+	return s
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) in ns.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	counts := make([]int64, NumBuckets)
+	for _, b := range s.Buckets {
+		counts[bucketOf(b.LE)] = b.N
+	}
+	return quantile(counts, s.Count, s.Max, q)
+}
+
+// quantile walks the cumulative bucket counts and returns the upper edge
+// of the bucket where the q-quantile lands; the top occupied bucket
+// reports the exact maximum instead of its (looser) edge.
+func quantile(counts []int64, total, max int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	top := 0
+	for b, n := range counts {
+		if n > 0 {
+			top = b
+		}
+	}
+	for b, n := range counts {
+		cum += n
+		if cum >= target {
+			if b == top {
+				return max
+			}
+			return bucketUpper(b)
+		}
+	}
+	return max
+}
+
+// Bucket is one occupied histogram bucket: N values ≤ LE nanoseconds
+// (and greater than the previous bucket's edge).
+type Bucket struct {
+	LE int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON form of a histogram. All durations are
+// nanoseconds. Quantiles are bucket-resolution upper bounds; Max is exact.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum_ns"`
+	Mean    int64    `json:"mean_ns"`
+	Max     int64    `json:"max_ns"`
+	P50     int64    `json:"p50_ns"`
+	P90     int64    `json:"p90_ns"`
+	P99     int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 20, 21}, {1<<21 - 1, 21},
+		{1 << 38, 39},
+		{1 << 39, NumBuckets - 1}, // overflow bucket
+		{1 << 50, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every bucket's upper edge must map back into that bucket, and the
+	// next nanosecond into the next bucket.
+	for b := 0; b < NumBuckets-1; b++ {
+		edge := bucketUpper(b)
+		if got := bucketOf(edge); got != b {
+			t.Errorf("bucketOf(upper(%d)=%d) = %d", b, edge, got)
+		}
+		if got := bucketOf(edge + 1); got != b+1 {
+			t.Errorf("bucketOf(upper(%d)+1) = %d, want %d", b, got, b+1)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 values: 50× 10ns, 40× 100ns, 9× 1000ns, 1× 5000ns.
+	for i := 0; i < 50; i++ {
+		h.ObserveNS(10)
+	}
+	for i := 0; i < 40; i++ {
+		h.ObserveNS(100)
+	}
+	for i := 0; i < 9; i++ {
+		h.ObserveNS(1000)
+	}
+	h.ObserveNS(5000)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if s.Max != 5000 {
+		t.Fatalf("max %d, want 5000", s.Max)
+	}
+	wantSum := int64(50*10 + 40*100 + 9*1000 + 5000)
+	if s.Sum != wantSum {
+		t.Fatalf("sum %d, want %d", s.Sum, wantSum)
+	}
+	// Quantiles are bucket upper edges: p50 lands in the 10ns bucket
+	// [8,15], p90 in the 100ns bucket [64,127], p99 in the 1000ns bucket
+	// [512,1023].
+	if s.P50 != 15 {
+		t.Errorf("p50 %d, want 15", s.P50)
+	}
+	if s.P90 != 127 {
+		t.Errorf("p90 %d, want 127", s.P90)
+	}
+	if s.P99 != 1023 {
+		t.Errorf("p99 %d, want 1023", s.P99)
+	}
+	// The quantile must never be below the true value's bucket lower edge
+	// nor above Max; the top bucket reports the exact maximum.
+	if q := h.Quantile(1.0); q != 5000 {
+		t.Errorf("p100 %d, want exact max 5000", q)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for ns := int64(1); ns < 1<<20; ns *= 3 {
+		h.ObserveNS(ns)
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %.2f = %d < previous %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Max != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	var nh *Histogram
+	nh.Observe(time.Second) // must not panic
+	nh.ObserveNS(5)
+	if nh.Count() != 0 {
+		t.Fatal("nil histogram counted")
+	}
+	if s := nh.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNS(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count %d, want %d", got, workers*per)
+	}
+	if s := h.Snapshot(); s.Max != workers*1000-1000+per-1 {
+		t.Fatalf("max %d, want %d", s.Max, workers*1000-1000+per-1)
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import "time"
+
+// Span measures one traced phase. Spans nest by name: a child's path is
+// "parent.child", and ending a span records its wall time into the
+// registry histogram "span.<path>_ns" (so repeated phases accumulate a
+// latency distribution) and bumps the counter "span.<path>_count".
+//
+// The engine's preprocessing pipeline traces as
+//
+//	preprocess
+//	├── preprocess.dist
+//	├── preprocess.cover
+//	├── preprocess.kernel
+//	├── preprocess.starter
+//	└── preprocess.skip
+//
+// Spans always measure time — End returns the duration even without a
+// registry — so callers can both trace and fill their own Stats structs
+// from one clock read. A span created from a nil *Registry (or a nil
+// *Span) records nowhere but still times correctly; a nil *Span's End
+// returns 0.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// Span starts a root span. Valid on a nil registry.
+func (r *Registry) Span(name string) *Span {
+	return &Span{reg: r, path: name, start: time.Now()}
+}
+
+// Child starts a nested span named "<parent path>.<name>".
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return &Span{path: name, start: time.Now()}
+	}
+	return &Span{reg: s.reg, path: s.path + "." + name, start: time.Now()}
+}
+
+// End stops the span, records it, and returns its wall time.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.reg != nil {
+		s.reg.Histogram("span." + s.path + "_ns").Observe(d)
+		s.reg.Counter("span." + s.path + "_count").Inc()
+	}
+	return d
+}
+
+// Path returns the span's dotted path.
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -140,6 +141,13 @@ type wreachScratch struct {
 // across the given number of workers (≤ 0 selects GOMAXPROCS). The result
 // is identical to the sequential computation for any worker count.
 func WReachCountsWorkers(g *graph.Graph, order []graph.V, r, workers int) ([]int, Stats) {
+	return WReachCountsObs(g, order, r, workers, nil)
+}
+
+// WReachCountsObs is WReachCountsWorkers with scan metrics recorded into
+// reg (histogram wcol.wreach_ns, counter wcol.sources, gauge
+// wcol.workers); a nil registry records nothing.
+func WReachCountsObs(g *graph.Graph, order []graph.V, r, workers int, reg *obs.Registry) ([]int, Stats) {
 	start := time.Now()
 	n := g.N()
 	if len(order) != n {
@@ -199,7 +207,13 @@ func WReachCountsWorkers(g *graph.Graph, order []graph.V, r, workers int) ([]int
 			counts[v] += c
 		}
 	}
-	return counts, Stats{Workers: nw, Wall: time.Since(start)}
+	st := Stats{Workers: nw, Wall: time.Since(start)}
+	if reg != nil {
+		reg.Histogram("wcol.wreach_ns").Observe(st.Wall)
+		reg.Counter("wcol.sources").Add(int64(n))
+		reg.Gauge("wcol.workers").Set(int64(nw))
+	}
+	return counts, st
 }
 
 // WCol returns wcol_r(G, order) = max_a |WReach_r[a] \ {a}|.

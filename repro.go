@@ -32,12 +32,14 @@ package repro
 
 import (
 	"fmt"
+	"net"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fo"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/store"
 )
@@ -139,6 +141,24 @@ type Index struct {
 	k int
 }
 
+// Metrics is an observability registry (internal/obs): atomic counters
+// and gauges, log-bucket latency histograms with p50/p90/p99/max
+// extraction, and phase-tracing spans, exportable as a JSON snapshot
+// (WriteJSON/Snapshot) and via expvar (Publish). Pass one to
+// IndexOptions.Metrics to instrument an index, or ServeDebug to expose it
+// over HTTP together with net/http/pprof.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// ServeDebug publishes reg via expvar and serves /debug/vars,
+// /debug/metrics (JSON snapshot), and /debug/pprof/... on addr in a
+// background goroutine, returning the bound listener.
+func ServeDebug(addr string, reg *Metrics) (net.Listener, error) {
+	return obs.ServeDebug(addr, reg)
+}
+
 // IndexOptions tunes BuildIndexOpt.
 type IndexOptions struct {
 	// Parallelism bounds the preprocessing worker count. 0 (the default)
@@ -146,6 +166,14 @@ type IndexOptions struct {
 	// resulting index is identical for every setting — parallelism only
 	// changes build wall time.
 	Parallelism int
+	// Metrics, when non-nil, instruments the index: preprocessing phases
+	// are traced as spans (span.preprocess.* histograms), the engine's
+	// answering counters are exported live (engine.candidates, …), and
+	// NextGeq/Test latency plus the Corollary 2.5 per-answer enumeration
+	// delay are recorded as histograms (engine.next_geq_ns,
+	// engine.test_ns, engine.delay_ns). Nil (the default) keeps the
+	// answering hot path free of timing work.
+	Metrics *Metrics
 }
 
 // BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3,
@@ -160,7 +188,7 @@ func BuildIndexOpt(g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism})
+	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +241,10 @@ func (ix *Index) Arity() int { return ix.k }
 
 // Stats exposes preprocessing and answering statistics.
 func (ix *Index) Stats() core.Stats { return ix.e.Stats() }
+
+// Metrics returns the registry the index records into, or nil when the
+// index was built without IndexOptions.Metrics.
+func (ix *Index) Metrics() *Metrics { return ix.e.Obs() }
 
 // Explain renders the index structure (clauses, starter lists, covers) —
 // the EXPLAIN output for the preprocessed query.

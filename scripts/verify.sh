@@ -3,10 +3,14 @@
 #   tier 1 — build + full test suite (the CI gate; ROADMAP "Tier-1 verify")
 #   tier 2 — vet + race-detector pass over the concurrency-sensitive suite,
 #            in -short mode so it stays a minutes-not-hours check
+#   tier 3 — metrics-overhead guard: NextGeq with metrics disabled must not
+#            be slower than with metrics enabled (the nil-sink fast path of
+#            internal/obs; see README "Observability")
 #
-#   scripts/verify.sh          # both tiers
+#   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
 #   scripts/verify.sh 2        # tier 2 only
+#   scripts/verify.sh 3        # tier 3 only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +26,11 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     echo "== tier 2: go vet ./... && go test -race -short ./... =="
     go vet ./...
     go test -race -short ./...
+fi
+
+if [[ "$tier" == "3" || "$tier" == "all" ]]; then
+    echo "== tier 3: metrics-overhead guard (OBS_GUARD=1) =="
+    OBS_GUARD=1 go test -run TestMetricsOverheadGuard -count=1 -v ./internal/core/
 fi
 
 echo "verify: OK (tier $tier)"
