@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 	nextTuple := flag.String("next", "", "print the smallest solution ≥ this comma-separated tuple")
 	explain := flag.Bool("explain", false, "print the compiled plan and index structure, then exit")
 	parallel := flag.Int("parallel", 0, "preprocessing workers (0 = all CPUs, 1 = sequential)")
+	deadline := flag.Duration("deadline", 0, "abort preprocessing after this long, e.g. 30s (0 = no deadline)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (expvar), /debug/metrics (JSON) and /debug/pprof on this address, e.g. localhost:6060")
 	metrics := flag.Bool("metrics", false, "print the metrics JSON snapshot to stderr when done")
 	flag.Parse()
@@ -65,8 +67,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "fodenum: debug server on http://%s/debug/vars (also /debug/metrics, /debug/pprof)\n", ln.Addr())
 	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	start := time.Now()
-	ix, err := repro.BuildIndexOpt(g, q, repro.IndexOptions{Parallelism: *parallel, Metrics: reg})
+	ix, err := repro.BuildIndexCtx(ctx, g, q, repro.IndexOptions{Parallelism: *parallel, Metrics: reg})
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,165 @@
+// Command fodserve serves FO⁺ query answering over HTTP/JSON: register a
+// query against a loaded graph (POST /v1/query), then page through its
+// solutions with stateless constant-startup cursors (GET /v1/enumerate),
+// test membership (POST /v1/test) or seek (POST /v1/next) — the serving
+// face of Theorem 2.3 / Corollaries 2.4–2.5.
+//
+//	fodserve -addr :8080 -graph road=road.txt -gen demo=grid:10000:1
+//	curl -s localhost:8080/v1/query -d '{"graph":"demo","query":"dist(x,y) > 2 & C0(y)","vars":["x","y"]}'
+//	curl -s 'localhost:8080/v1/enumerate?query=<id>&limit=100'
+//	curl -s 'localhost:8080/v1/enumerate?cursor=<next_cursor>'
+//
+// Graphs are named at startup: -graph name=path loads the text format
+// (fodgen | fodrel emit it), -gen name=class:n[:colors[:seed]] generates a
+// benchmark class in process. Both flags repeat.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var graphFlags, genFlags multiFlag
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Var(&graphFlags, "graph", "load a graph: name=path (text format; repeatable)")
+	flag.Var(&genFlags, "gen", "generate a graph: name=class:n[:colors[:seed]] (repeatable)")
+	cacheSize := flag.Int("cache", 8, "max resident indexes (LRU beyond)")
+	defaultLimit := flag.Int("default-limit", 100, "page size when the request names none")
+	maxLimit := flag.Int("max-limit", 10000, "hard page-size cap")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	parallel := flag.Int("parallel", 0, "index-build workers (0 = all CPUs)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	flag.Parse()
+
+	graphs := make(map[string]*repro.Graph)
+	for _, spec := range graphFlags {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fail(fmt.Errorf("-graph %q: want name=path", spec))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		g, err := graph.Read(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		graphs[name] = g
+	}
+	for _, spec := range genFlags {
+		name, g, err := parseGen(spec)
+		if err != nil {
+			fail(err)
+		}
+		graphs[name] = g
+	}
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "fodserve: no graphs; pass -graph name=path or -gen name=class:n")
+		os.Exit(2)
+	}
+
+	reg := obs.New()
+	srv := serve.NewServer(serve.Config{
+		Graphs:         graphs,
+		CacheSize:      *cacheSize,
+		DefaultLimit:   *defaultLimit,
+		MaxLimit:       *maxLimit,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Parallelism:    *parallel,
+		Metrics:        reg,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	for name, g := range graphs {
+		fmt.Fprintf(os.Stderr, "fodserve: graph %q: n=%d m=%d colors=%d\n", name, g.N(), g.M(), g.NumColors())
+	}
+	fmt.Fprintf(os.Stderr, "fodserve: serving on http://%s/v1 (metrics at /debug/metrics)\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fodserve: %v — draining for up to %v\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "fodserve: drain incomplete: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "fodserve: http shutdown: %v\n", err)
+		}
+	}
+}
+
+// parseGen parses name=class:n[:colors[:seed]].
+func parseGen(spec string) (string, *repro.Graph, error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("-gen %q: want name=class:n[:colors[:seed]]", spec)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return "", nil, fmt.Errorf("-gen %q: want name=class:n[:colors[:seed]]", spec)
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 0 {
+		return "", nil, fmt.Errorf("-gen %q: bad n %q", spec, parts[1])
+	}
+	opt := repro.GenOptions{}
+	if len(parts) >= 3 {
+		if opt.Colors, err = strconv.Atoi(parts[2]); err != nil || opt.Colors < 0 {
+			return "", nil, fmt.Errorf("-gen %q: bad colors %q", spec, parts[2])
+		}
+	}
+	if len(parts) == 4 {
+		if opt.Seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("-gen %q: bad seed %q", spec, parts[3])
+		}
+	}
+	classes := repro.GraphClasses()
+	valid := false
+	for _, c := range classes {
+		if c == parts[0] {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return "", nil, fmt.Errorf("-gen %q: unknown class %q (have %s)", spec, parts[0], strings.Join(classes, ", "))
+	}
+	return name, repro.Generate(parts[0], n, opt), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fodserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fo"
+	"repro/internal/gen"
+)
+
+// TestPreprocessCanceled: a context that is already done makes Preprocess
+// fail fast with the context error, before any phase runs.
+func TestPreprocessCanceled(t *testing.T) {
+	g := gen.Generate(gen.Path, 50, gen.Options{Colors: 1, Seed: 1})
+	lq, err := Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Preprocess(g, lq, Options{Ctx: ctx})
+	if err == nil {
+		t.Fatal("Preprocess with canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestPreprocessDeadline: an expired deadline surfaces as
+// context.DeadlineExceeded through the phase checkpoints.
+func TestPreprocessDeadline(t *testing.T) {
+	g := gen.Generate(gen.Path, 2000, gen.Options{Colors: 1, Seed: 1})
+	lq, err := Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = Preprocess(g, lq, Options{Ctx: ctx})
+	if err == nil {
+		t.Fatal("Preprocess with expired deadline succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestPreprocessNilCtx: the zero Options keep working (no deadline).
+func TestPreprocessNilCtx(t *testing.T) {
+	g := gen.Generate(gen.Path, 50, gen.Options{Colors: 1, Seed: 1})
+	lq, err := Compile(fo.MustParse("C0(x)"), []fo.Var{"x"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preprocess(g, lq, Options{}); err != nil {
+		t.Fatalf("Preprocess without ctx: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,6 +25,12 @@ type Options struct {
 	// bit. Any value yields an identical engine — parallelism changes
 	// wall time, never the structure or the answers.
 	Parallelism int
+	// Ctx, when non-nil, bounds the preprocessing: Preprocess checks it
+	// between phases (dist → cover → kernel → per-clause starter/skip) and
+	// returns the context error once it is canceled or past its deadline.
+	// The answering phase is unaffected — checkpoints exist only where the
+	// pseudo-linear build spends its time. Nil means no deadline.
+	Ctx context.Context
 	// Obs, when non-nil, turns on full instrumentation: the preprocessing
 	// phases are traced as nested spans (preprocess.dist → .cover →
 	// .kernel → .starter → .skip), the answering counters are exported as
@@ -158,6 +165,24 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	if q.K > skip.MaxSetSize+1 {
 		return nil, fmt.Errorf("core: arity %d exceeds supported maximum %d", q.K, skip.MaxSetSize+1)
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// checkpoint aborts the build between phases once ctx is done. The
+	// phases themselves run to completion; on nowhere dense inputs each is
+	// pseudo-linear, so cancellation latency is one phase, not one build.
+	checkpoint := func() error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: preprocessing canceled: %w", context.Cause(ctx))
+		default:
+			return nil
+		}
+	}
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius, obsReg: opt.Obs}
 	workers := par.Resolve(opt.Parallelism)
 	pool := par.NewPool(workers).WithMetrics(par.NewMetrics(opt.Obs, "engine.pool"))
@@ -186,6 +211,9 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	sp := root.Child("dist")
 	e.dix = dist.New(g, distR, distOpt)
 	e.stats.DistWall = sp.End()
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	e.evPool.New = func() any {
 		ev := fo.NewEvaluator(g)
 		ev.UseDistTester(e.dix)
@@ -208,9 +236,15 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	sp = root.Child("cover")
 	e.cov = cover.ComputeWith(g, coverR, cover.Options{Workers: workers, Obs: opt.Obs})
 	e.stats.CoverWall = sp.End()
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	sp = root.Child("kernel")
 	e.cov.ComputeKernels(e.r)
 	e.stats.KernelWall = sp.End()
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 	e.stats.CoverRadius = coverR
 	e.stats.CoverBags = e.cov.NumBags()
 	e.stats.CoverDegree = e.cov.Degree()
@@ -240,7 +274,10 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	}
 
 	for ci := range live {
-		rt, err := e.buildClause(&live[ci], pool, root)
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
+		rt, err := e.buildClause(&live[ci], pool, root, checkpoint)
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +316,7 @@ func (e *Engine) exportInstruments(reg *obs.Registry) {
 // without Options.Obs).
 func (e *Engine) Obs() *obs.Registry { return e.obsReg }
 
-func (e *Engine) buildClause(cl *Clause, pool *par.Pool, trace *obs.Span) (*clauseRT, error) {
+func (e *Engine) buildClause(cl *Clause, pool *par.Pool, trace *obs.Span, checkpoint func() error) (*clauseRT, error) {
 	rt := &clauseRT{
 		clause:  cl,
 		compOf:  make([]int, e.k),
@@ -302,6 +339,9 @@ func (e *Engine) buildClause(cl *Clause, pool *par.Pool, trace *obs.Span) (*clau
 		e.computeStarter(c, pool)
 		e.stats.StarterWall += sp.End()
 		e.stats.StarterSizes = append(e.stats.StarterSizes, len(c.starter))
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
 		if e.k >= 2 {
 			sp = trace.Child("skip")
 			c.skip = skip.New(e.g, e.cov, e.k-1, c.starter)

@@ -273,7 +273,13 @@ func (p *parser) parseQuantifier(kw string) (Formula, error) {
 		if next == tokEq || next == tokNeq {
 			break
 		}
-		if next == tokLParen {
+		// An atom head only ends the variable list once at least one
+		// variable has been collected: a quantifier needs ≥ 1 variable, so
+		// the first identifier is always a variable even when it collides
+		// with an atom name ("exists X (C0(X))", "exists dist (E(dist,y))").
+		// Without this, String() output quantifying an uppercase or
+		// atom-named variable would not reparse.
+		if next == tokLParen && len(vars) > 0 {
 			txt := p.peek().text
 			_, isColor := colorIndex(txt)
 			if isColor || txt == "E" || txt == "dist" || isRelName(txt) {

@@ -84,6 +84,12 @@ func (g *Gauge) Add(delta int64) {
 	g.v.Add(delta)
 }
 
+// Inc increments the gauge by one (e.g. a request entering flight).
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one (e.g. a request leaving flight).
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Max raises the gauge to n if n is larger (atomic CAS loop).
 func (g *Gauge) Max(n int64) {
 	if g == nil {

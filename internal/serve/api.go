@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// The wire types of the /v1 JSON API. Every error response is the
+// envelope {"error": {"code": ..., "message": ...}} with a matching HTTP
+// status; every success response is one of the *Response types below.
+
+// QueryRequest registers (and warms) a query against a loaded graph.
+type QueryRequest struct {
+	// Graph names a graph loaded or generated at server start.
+	Graph string `json:"graph"`
+	// Query is the FO⁺ query text, e.g. "dist(x,y) > 2 & C0(y)".
+	Query string `json:"query"`
+	// Vars fixes the output-column order, e.g. ["x","y"].
+	Vars []string `json:"vars"`
+}
+
+// QueryResponse describes a registered query. ID is deterministic — the
+// same (graph, canonical query) always yields the same id, across
+// restarts — so clients can hold on to ids and cursors statelessly.
+type QueryResponse struct {
+	ID        string `json:"id"`
+	Graph     string `json:"graph"`
+	Canonical string `json:"canonical"`
+	Arity     int    `json:"arity"`
+	// Cached reports whether the index was already resident; BuildNS is
+	// the wall time this request spent obtaining it (≈0 on a cache hit,
+	// shared across concurrent requests by singleflight on a miss).
+	Cached  bool  `json:"cached"`
+	BuildNS int64 `json:"build_ns"`
+}
+
+// EnumerateResponse is one page of the solution stream in lexicographic
+// order. NextCursor is opaque; pass it back to /v1/enumerate to resume
+// after the last tuple of this page in constant time (Theorem 2.3). Done
+// means the stream is exhausted (NextCursor empty).
+type EnumerateResponse struct {
+	ID         string  `json:"id"`
+	Solutions  [][]int `json:"solutions"`
+	Count      int     `json:"count"`
+	Limit      int     `json:"limit"`
+	NextCursor string  `json:"next_cursor,omitempty"`
+	Done       bool    `json:"done"`
+}
+
+// TupleRequest addresses one tuple of a registered query (for /v1/test
+// and /v1/next).
+type TupleRequest struct {
+	ID    string `json:"id"`
+	Tuple []int  `json:"tuple"`
+}
+
+// TestResponse answers Corollary 2.4: is the tuple a solution?
+type TestResponse struct {
+	ID       string `json:"id"`
+	Tuple    []int  `json:"tuple"`
+	Solution bool   `json:"solution"`
+}
+
+// NextResponse answers Theorem 2.3: the smallest solution ≥ the tuple.
+type NextResponse struct {
+	ID       string `json:"id"`
+	Solution []int  `json:"solution,omitempty"`
+	Found    bool   `json:"found"`
+}
+
+// FlushResponse reports how many cached indexes POST /v1/cache/flush
+// dropped.
+type FlushResponse struct {
+	Flushed int `json:"flushed"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Graphs  map[string]GraphStats `json:"graphs"`
+	Queries []QueryStats          `json:"queries"`
+	Cache   CacheStats            `json:"cache"`
+	// Metrics is the full obs registry snapshot (per-endpoint latency
+	// histograms, cache counters, in-flight gauge, engine internals of
+	// resident indexes); omitted when the server runs unmetered.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// GraphStats describes one loaded graph.
+type GraphStats struct {
+	N      int `json:"n"`
+	M      int `json:"m"`
+	Colors int `json:"colors"`
+}
+
+// QueryStats describes one registered query.
+type QueryStats struct {
+	ID        string `json:"id"`
+	Graph     string `json:"graph"`
+	Canonical string `json:"canonical"`
+	Arity     int    `json:"arity"`
+}
+
+// Error codes of the API.
+const (
+	ErrBadRequest       = "bad_request"       // malformed JSON, bad params, bad tuple
+	ErrUnknownGraph     = "unknown_graph"     // graph name not loaded
+	ErrUnknownQuery     = "unknown_query"     // query id never registered
+	ErrInvalidCursor    = "invalid_cursor"    // cursor undecodable or for another query
+	ErrDeadlineExceeded = "deadline_exceeded" // request deadline hit (build or page)
+	ErrShuttingDown     = "shutting_down"     // server is draining
+	ErrInternal         = "internal"          // build failure or other server error
+)
+
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errEnvelope struct {
+	Error errBody `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errEnvelope{Error: errBody{Code: code, Message: msg}})
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+
+	"sync"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// cacheKey identifies one index: a graph id and the canonical query text
+// (repro.Query.Canonical, stable under reparsing).
+type cacheKey struct {
+	graph     string
+	canonical string
+}
+
+// indexCache is an LRU over built indexes with singleflight deduplication:
+// N concurrent Get calls for the same uncached key trigger exactly one
+// build; the other N−1 wait on the flight and share its result. A waiter
+// whose context expires leaves immediately (the request fails with the
+// context error); when the last waiter of a flight has left, the build
+// itself is canceled through the core's phase checkpoints. Successful
+// builds are inserted even if every waiter has gone — the work is done,
+// the next request should profit.
+type indexCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	lru     *list.List // front = most recently used; Value = *cacheEntry
+	flights map[cacheKey]*flight
+
+	baseCtx context.Context // parent of every build; canceled on shutdown
+	build   func(ctx context.Context, key cacheKey) (*repro.Index, error)
+
+	// Owned instruments; registered in the obs registry when present so
+	// /v1/stats and /debug/metrics read the same numbers.
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
+	builds    obs.Counter
+	shared    obs.Counter // waiters that joined an existing flight
+	size      obs.Gauge
+}
+
+type cacheEntry struct {
+	key cacheKey
+	ix  *repro.Index
+}
+
+type flight struct {
+	waiters int
+	cancel  context.CancelFunc
+	done    chan struct{}
+	ix      *repro.Index
+	err     error
+}
+
+func newIndexCache(baseCtx context.Context, capacity int, reg *obs.Registry,
+	build func(ctx context.Context, key cacheKey) (*repro.Index, error)) *indexCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &indexCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		lru:     list.New(),
+		flights: make(map[cacheKey]*flight),
+		baseCtx: baseCtx,
+		build:   build,
+	}
+	if reg != nil {
+		reg.RegisterCounter("serve.cache.hits", &c.hits)
+		reg.RegisterCounter("serve.cache.misses", &c.misses)
+		reg.RegisterCounter("serve.cache.evictions", &c.evictions)
+		reg.RegisterCounter("serve.cache.builds", &c.builds)
+		reg.RegisterCounter("serve.cache.flight_shared", &c.shared)
+		reg.RegisterGauge("serve.cache.size", &c.size)
+	}
+	return c
+}
+
+// Get returns the index for key, building it (once, however many callers
+// arrive concurrently) on a miss. hit reports whether the index was
+// already resident. ctx bounds only this caller's wait; the build keeps
+// running for the remaining waiters.
+func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		ix := el.Value.(*cacheEntry).ix
+		c.mu.Unlock()
+		c.hits.Inc()
+		return ix, true, nil
+	}
+	f, ok := c.flights[key]
+	if ok {
+		f.waiters++
+		c.shared.Inc()
+	} else {
+		bctx, cancel := context.WithCancel(c.baseCtx)
+		f = &flight{waiters: 1, cancel: cancel, done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses.Inc()
+		c.builds.Inc()
+		go c.run(bctx, key, f)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.ix, false, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			select {
+			case <-f.done: // build already finished; nothing to cancel
+			default:
+				f.cancel()
+			}
+		}
+		c.mu.Unlock()
+		return nil, false, ctx.Err()
+	}
+}
+
+func (c *indexCache) run(ctx context.Context, key cacheKey, f *flight) {
+	ix, err := c.build(ctx, key)
+	f.cancel() // release the context's resources
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f.ix, f.err = ix, err
+	delete(c.flights, key)
+	if err == nil {
+		c.insertLocked(key, ix)
+	}
+	close(f.done)
+}
+
+func (c *indexCache) insertLocked(key cacheKey, ix *repro.Index) {
+	if el, ok := c.entries[key]; ok { // lost a (cross-key) race; refresh
+		el.Value.(*cacheEntry).ix = ix
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, ix: ix})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(int64(c.lru.Len()))
+}
+
+// Flush drops every cached index (in-progress flights keep running and
+// re-insert on completion). Returns the number of dropped entries.
+func (c *indexCache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	c.lru.Init()
+	clear(c.entries)
+	c.size.Set(0)
+	return n
+}
+
+// CacheStats is a point-in-time view of the cache, served by /v1/stats.
+type CacheStats struct {
+	Capacity     int   `json:"capacity"`
+	Size         int   `json:"size"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	Builds       int64 `json:"builds"`
+	FlightShared int64 `json:"flight_shared"`
+}
+
+func (c *indexCache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.lru.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Capacity:     c.cap,
+		Size:         size,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Builds:       c.builds.Load(),
+		FlightShared: c.shared.Load(),
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// stubIndex returns a trivially buildable index for cache unit tests.
+func stubIndex(t *testing.T) *repro.Index {
+	t.Helper()
+	g := repro.Generate("path", 10, repro.GenOptions{Colors: 1, Seed: 1})
+	ix, err := repro.BuildIndex(g, repro.MustParseQuery("C0(x)", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	ix := stubIndex(t)
+	var builds atomic.Int64
+	c := newIndexCache(context.Background(), 2, nil, func(ctx context.Context, key cacheKey) (*repro.Index, error) {
+		builds.Add(1)
+		return ix, nil
+	})
+	key := func(i int) cacheKey { return cacheKey{graph: "g", canonical: fmt.Sprint(i)} }
+
+	get := func(i int) bool {
+		t.Helper()
+		_, hit, err := c.Get(context.Background(), key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	get(1) // miss: {1}
+	get(2) // miss: {2 1}
+	if !get(1) {
+		t.Fatal("1 should be cached") // {1 2}
+	}
+	get(3) // miss, evicts 2: {3 1}
+	if get(2) {
+		t.Fatal("2 should have been the LRU victim")
+	}
+	st := c.Stats()
+	if st.Builds != 4 || st.Evictions != 2 || st.Size != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if c.Flush() != 2 {
+		t.Fatal("flush should drop both entries")
+	}
+	if c.Stats().Size != 0 {
+		t.Fatal("size after flush")
+	}
+	if get(1) {
+		t.Fatal("1 should rebuild after flush")
+	}
+}
+
+func TestCacheSingleflightSharesOneBuild(t *testing.T) {
+	ix := stubIndex(t)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	c := newIndexCache(context.Background(), 4, nil, func(ctx context.Context, key cacheKey) (*repro.Index, error) {
+		builds.Add(1)
+		<-release
+		return ix, nil
+	})
+
+	const waiters = 10
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := c.Get(context.Background(), cacheKey{"g", "q"})
+			if err != nil || got != ix {
+				t.Errorf("Get: %v %v", got, err)
+			}
+		}()
+	}
+	// Wait until every goroutine joined the flight, then release the build.
+	deadline := time.After(2 * time.Second)
+	for c.Stats().FlightShared < waiters-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d waiters joined", c.Stats().FlightShared)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds, want 1", n)
+	}
+}
+
+// TestCacheBuildCanceledWhenAllWaitersLeave: once the last waiter's
+// context expires, the build context is canceled; the failed flight is
+// not cached and a retry rebuilds.
+func TestCacheBuildCanceledWhenAllWaitersLeave(t *testing.T) {
+	ix := stubIndex(t)
+	var builds atomic.Int64
+	canceled := make(chan struct{})
+	c := newIndexCache(context.Background(), 4, nil, func(ctx context.Context, key cacheKey) (*repro.Index, error) {
+		if builds.Add(1) == 1 {
+			<-ctx.Done() // simulate a long build interrupted at a checkpoint
+			close(canceled)
+			return nil, ctx.Err()
+		}
+		return ix, nil
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Get(ctx, cacheKey{"g", "q"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error %v, want DeadlineExceeded", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("build context was never canceled")
+	}
+	// Retry rebuilds (the canceled flight did not poison the key).
+	got, _, err := c.Get(context.Background(), cacheKey{"g", "q"})
+	if err != nil || got != ix {
+		t.Fatalf("retry: %v %v", got, err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("%d builds, want 2", n)
+	}
+}
+
+// TestCacheAbandonedSuccessIsCached: a build whose waiters all left but
+// which completes before noticing cancellation still lands in the cache.
+func TestCacheAbandonedSuccessIsCached(t *testing.T) {
+	ix := stubIndex(t)
+	var builds atomic.Int64
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	c := newIndexCache(context.Background(), 4, nil, func(ctx context.Context, key cacheKey) (*repro.Index, error) {
+		builds.Add(1)
+		close(started)
+		<-finish // ignore ctx: a build between checkpoints can't be stopped
+		return ix, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel() // abandon the only waiter
+	}()
+	if _, _, err := c.Get(ctx, cacheKey{"g", "q"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter error %v, want Canceled", err)
+	}
+	close(finish)
+	// The orphaned result must become visible as a cache hit.
+	deadline := time.After(2 * time.Second)
+	for {
+		_, hit, err := c.Get(context.Background(), cacheKey{"g", "q"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("orphaned successful build never cached")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if n := builds.Load(); n > 2 {
+		t.Fatalf("%d builds for one abandoned flight + polling hits", n)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, tup := range [][]int{{0}, {1, 2}, {0, 0, 0}, {999999, 0, 31}} {
+		cur := encodeCursor("abc123", tup)
+		id, got, err := decodeCursor(cur)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", tup, err)
+		}
+		if id != "abc123" || !tupleEqual(got, tup) {
+			t.Fatalf("round trip %v -> %q %v", tup, id, got)
+		}
+	}
+	for _, bad := range []string{"", "!!!", "djEgYQ", encodeCursor("q", nil)} {
+		if _, _, err := decodeCursor(bad); err == nil {
+			t.Fatalf("decode(%q) accepted", bad)
+		}
+	}
+}

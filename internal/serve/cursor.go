@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A cursor is the pagination token of /v1/enumerate. Because the index
+// answers "smallest solution ≥ ā" in constant time (Theorem 2.3), a
+// cursor needs no server-side state at all: it is just the last tuple the
+// page returned, bound to its query id. Resuming seeks to that tuple and
+// skips it — constant startup cost per page, at any depth into the
+// stream, even when the cached index was evicted and rebuilt in between
+// (the rebuilt index is identical, and the cursor never referenced the
+// old one).
+//
+// Wire format: base64url(raw) of "v1 <query-id> <t0> <t1> ... <tk-1>".
+// The encoding is versioned so a future format can coexist; clients must
+// treat the string as opaque.
+
+const cursorVersion = "v1"
+
+func encodeCursor(queryID string, last []int) string {
+	var b strings.Builder
+	b.WriteString(cursorVersion)
+	b.WriteByte(' ')
+	b.WriteString(queryID)
+	for _, v := range last {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(v))
+	}
+	return base64.RawURLEncoding.EncodeToString([]byte(b.String()))
+}
+
+func decodeCursor(s string) (queryID string, last []int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return "", nil, fmt.Errorf("cursor is not base64url: %v", err)
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) < 3 || fields[0] != cursorVersion {
+		return "", nil, fmt.Errorf("cursor has unsupported format")
+	}
+	queryID = fields[1]
+	last = make([]int, len(fields)-2)
+	for i, f := range fields[2:] {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return "", nil, fmt.Errorf("cursor component %q is not an integer", f)
+		}
+		last[i] = v
+	}
+	return queryID, last, nil
+}

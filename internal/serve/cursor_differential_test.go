@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/fo"
+	"repro/internal/naive"
+)
+
+// TestCursorPagingDifferential is the cursor correctness property test:
+// for a grid of random graphs and queries, paging through /v1/enumerate
+// with page sizes 1, 2, 7 and ∞ — flushing the index cache mid-stream so
+// the cursor must survive eviction and rebuild — reproduces exactly the
+// Index.Enumerate stream, which itself is checked against the naive
+// materialize-everything oracle.
+func TestCursorPagingDifferential(t *testing.T) {
+	graphs := map[string]*repro.Graph{
+		"path":   repro.Generate("path", 60, repro.GenOptions{Colors: 2, Seed: 3}),
+		"sparse": repro.Generate("sparserandom", 48, repro.GenOptions{Colors: 2, Seed: 9}),
+		"tree":   repro.Generate("btree", 63, repro.GenOptions{Colors: 2, Seed: 4}),
+		"tiny":   repro.Generate("cycle", 24, repro.GenOptions{Colors: 2, Seed: 8}),
+	}
+	queries := []struct {
+		src  string
+		vars []string
+	}{
+		{"C0(x)", []string{"x"}},
+		{"E(x,y)", []string{"x", "y"}},
+		{"dist(x,y) > 2 & C0(y)", []string{"x", "y"}},
+		{"C0(x) & ~(exists z (dist(x,z) <= 2 & C1(z)))", []string{"x"}},
+		{"exists z (E(x,z) & E(z,y)) | x = y", []string{"x", "y"}},
+	}
+	// Arity-3 only on the smallest graph: the oracle is Θ(n³·eval).
+	triple := struct {
+		src  string
+		vars []string
+	}{"dist(x,z) > 2 & dist(y,z) > 2 & C0(z)", []string{"x", "y", "z"}}
+
+	cfg := Config{Graphs: graphs, CacheSize: 2, MaxLimit: 1 << 30, DefaultLimit: 50}
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pageSizes := []int{1, 2, 7, 1 << 29} // 1<<29 ≡ ∞: one page swallows everything
+
+	for gname, g := range graphs {
+		for _, qc := range queries {
+			t.Run(fmt.Sprintf("%s/%s", gname, qc.src), func(t *testing.T) {
+				checkPaging(t, ts.URL, s, g, gname, qc.src, qc.vars, pageSizes)
+			})
+		}
+	}
+	t.Run("tiny/"+triple.src, func(t *testing.T) {
+		checkPaging(t, ts.URL, s, graphs["tiny"], "tiny", triple.src, triple.vars, pageSizes)
+	})
+}
+
+func checkPaging(t *testing.T, base string, s *Server, g *repro.Graph, gname, src string, vars []string, pageSizes []int) {
+	// Oracle 1: the index's own Enumerate stream (the acceptance bar:
+	// byte-identical pagination).
+	q := repro.MustParseQuery(src, vars...)
+	ix, err := repro.BuildIndex(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]int
+	ix.Enumerate(func(sol []int) bool {
+		want = append(want, append([]int(nil), sol...))
+		return true
+	})
+
+	// Oracle 2: naive materialization agrees with Enumerate (ties the API
+	// stream all the way back to the formula semantics).
+	fvars := make([]fo.Var, len(vars))
+	for i, v := range vars {
+		fvars[i] = fo.Var(v)
+	}
+	naiveSols := naive.Solutions(g, q.Phi, fvars)
+	if len(naiveSols) != len(want) {
+		t.Fatalf("Enumerate (%d sols) disagrees with naive oracle (%d sols)", len(want), len(naiveSols))
+	}
+	for i := range want {
+		if !tupleEqual(want[i], naiveSols[i]) {
+			t.Fatalf("solution %d: Enumerate %v != naive %v", i, want[i], naiveSols[i])
+		}
+	}
+
+	qr := registerQuery(t, base, gname, src, vars...)
+	for _, pageSize := range pageSizes {
+		var got [][]int
+		cursor := ""
+		pages := 0
+		for {
+			url := fmt.Sprintf("%s/v1/enumerate?query=%s&limit=%d", base, qr.ID, pageSize)
+			if cursor != "" {
+				url += "&cursor=" + cursor
+			}
+			resp, data := getJSON(t, url)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("page %d: status %d: %s", pages, resp.StatusCode, data)
+			}
+			page := mustDecode[EnumerateResponse](t, data)
+			got = append(got, page.Solutions...)
+			pages++
+			if page.Done {
+				break
+			}
+			if page.NextCursor == "" {
+				t.Fatalf("page %d: not done but no cursor", pages)
+			}
+			cursor = page.NextCursor
+			// Every third page boundary, drop every cached index: the
+			// resumed cursor must survive eviction + rebuild bit for bit.
+			if pages%3 == 0 {
+				s.cache.Flush()
+			}
+			if pages > len(want)+2 {
+				t.Fatalf("paging does not terminate (%d pages for %d solutions)", pages, len(want))
+			}
+		}
+		if !reflect.DeepEqual(norm(got), norm(want)) {
+			t.Fatalf("page size %d: paged stream (%d sols) != Enumerate stream (%d sols)\n got: %v\nwant: %v",
+				pageSize, len(got), len(want), got, want)
+		}
+	}
+}
+
+// norm maps nil to an empty slice so DeepEqual compares streams, not
+// JSON-decoding artifacts.
+func norm(s [][]int) [][]int {
+	if s == nil {
+		return [][]int{}
+	}
+	return s
+}

@@ -1,0 +1,565 @@
+// Package serve is the concurrent query-serving layer: an HTTP/JSON API
+// over the repro facade that turns the paper's answering primitives into
+// a stateless pagination contract.
+//
+// The key observation (Theorem 2.3 / Corollary 2.5): after one
+// pseudo-linear preprocessing, NextGeq answers "smallest solution ≥ ā" in
+// constant time, so a pagination cursor needs no server-side state — it
+// is just the last tuple returned, and resuming costs O(1) wherever the
+// client stopped, even across index eviction and rebuild.
+//
+// Endpoints:
+//
+//	POST /v1/query          register/compile a query, warm its index
+//	GET  /v1/enumerate      one page of solutions + opaque resume cursor
+//	POST /v1/test           Corollary 2.4: constant-time membership
+//	POST /v1/next           Theorem 2.3: smallest solution ≥ tuple
+//	GET  /v1/stats          graphs, queries, cache, metrics snapshot
+//	POST /v1/cache/flush    drop all cached indexes (ops/testing)
+//	GET  /debug/metrics     obs JSON snapshot (plus /debug/vars, /debug/pprof)
+//
+// Behind the handlers sits an LRU index cache keyed by (graph id,
+// canonical query) with singleflight deduplication: N concurrent requests
+// for the same uncached query trigger exactly one parallel BuildIndexOpt.
+// Every request carries a deadline (default or ?timeout_ms=…, capped)
+// threaded through build and page enumeration; shutdown drains in-flight
+// requests before canceling outstanding builds.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value of every field selects a sensible
+// default.
+type Config struct {
+	// Graphs are the served graphs, keyed by the name clients use in
+	// QueryRequest.Graph. The map is read-only after NewServer.
+	Graphs map[string]*repro.Graph
+	// CacheSize bounds the number of resident indexes (LRU beyond it).
+	// Default 8.
+	CacheSize int
+	// DefaultLimit and MaxLimit shape /v1/enumerate pages: an absent or
+	// non-positive limit becomes DefaultLimit (default 100); anything
+	// above MaxLimit (default 10000) is clamped to it.
+	DefaultLimit int
+	MaxLimit     int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout bounds a request that names no ?timeout_ms
+	// (default 30s); MaxTimeout caps client-requested deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Parallelism forwards to IndexOptions.Parallelism for cache builds.
+	Parallelism int
+	// Metrics, when non-nil, instruments the server (per-endpoint latency
+	// histograms, cache hit/miss counters, in-flight gauge) and every
+	// index it builds, and is served at /debug/metrics.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 8
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 100
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the query-serving layer. Create with NewServer, mount
+// Handler(), stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *indexCache
+
+	mu      sync.Mutex // guards queries
+	queries map[string]*queryEntry
+
+	baseCtx context.Context // canceled after drain; parent of all builds
+	cancel  context.CancelFunc
+
+	shutMu   sync.RWMutex // closed-flag vs. in-flight registration
+	closed   bool
+	inflight sync.WaitGroup
+
+	inflightG obs.Gauge
+}
+
+// queryEntry is one registered query. The compiled *repro.Query is shared
+// by every request (safe: compilation is behind a sync.Once) while the
+// built index lives in the cache and may be evicted independently.
+type queryEntry struct {
+	id        string
+	graph     string
+	canonical string
+	q         *repro.Query
+	arity     int
+}
+
+// NewServer validates cfg and returns a ready Server.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		queries: make(map[string]*queryEntry),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	s.cache = newIndexCache(ctx, cfg.CacheSize, cfg.Metrics, s.buildIndex)
+	if s.reg != nil {
+		s.reg.RegisterGauge("serve.http.in_flight", &s.inflightG)
+	}
+	return s
+}
+
+// buildIndex is the cache's build function: it resolves the key back to
+// the registered query and runs the context-bounded parallel build.
+func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, error) {
+	g, ok := s.cfg.Graphs[key.graph]
+	if !ok {
+		return nil, fmt.Errorf("serve: graph %q disappeared", key.graph)
+	}
+	s.mu.Lock()
+	var q *repro.Query
+	for _, e := range s.queries {
+		if e.graph == key.graph && e.canonical == key.canonical {
+			q = e.q
+			break
+		}
+	}
+	s.mu.Unlock()
+	if q == nil {
+		return nil, fmt.Errorf("serve: query %q not registered", key.canonical)
+	}
+	return repro.BuildIndexCtx(ctx, g, q, repro.IndexOptions{
+		Parallelism: s.cfg.Parallelism,
+		Metrics:     s.reg,
+	})
+}
+
+// queryID derives the deterministic id of a (graph, canonical) pair.
+func queryID(graph, canonical string) string {
+	h := sha256.Sum256([]byte(graph + "\x00" + canonical))
+	return hex.EncodeToString(h[:8])
+}
+
+// Handler returns the full HTTP surface: the /v1 API plus the /debug
+// observability endpoints when the server is metered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
+	mux.HandleFunc("GET /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
+	mux.HandleFunc("POST /v1/test", s.instrument("test", s.handleTest))
+	mux.HandleFunc("POST /v1/next", s.instrument("next", s.handleNext))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/cache/flush", s.instrument("flush", s.handleFlush))
+	if s.reg != nil {
+		mux.Handle("/debug/", obs.DebugMux(s.reg))
+	}
+	return mux
+}
+
+// Shutdown drains: new requests are rejected with 503 shutting_down,
+// in-flight requests (including long enumeration pages) run to
+// completion or until ctx expires, then outstanding builds are canceled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutMu.Lock()
+	already := s.closed
+	s.closed = true
+	s.shutMu.Unlock()
+	if already {
+		return nil
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel()
+	return err
+}
+
+// instrument wraps a handler with the serving middleware: shutdown
+// rejection, in-flight tracking (WaitGroup for draining, gauge for
+// scrapes), the per-request deadline, and per-endpoint latency/error
+// instruments.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("serve.http." + name + "_ns")
+	reqs := s.reg.Counter("serve.http." + name + "_requests")
+	errs := s.reg.Counter("serve.http." + name + "_errors")
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.shutMu.RLock()
+		if s.closed {
+			s.shutMu.RUnlock()
+			writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown, "server is draining")
+			return
+		}
+		s.inflight.Add(1)
+		s.shutMu.RUnlock()
+		defer s.inflight.Done()
+		s.inflightG.Inc()
+		defer s.inflightG.Dec()
+
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		hist.Observe(time.Since(start))
+		reqs.Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+	}
+}
+
+// requestContext derives the per-request deadline: ?timeout_ms=… capped
+// at MaxTimeout, else DefaultTimeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// --- handlers ---------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Graph == "" || req.Query == "" || len(req.Vars) == 0 {
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, "graph, query and vars are required")
+		return
+	}
+	if _, ok := s.cfg.Graphs[req.Graph]; !ok {
+		writeErr(w, http.StatusNotFound, ErrUnknownGraph, fmt.Sprintf("graph %q is not loaded", req.Graph))
+		return
+	}
+	q, err := repro.ParseQuery(req.Query, req.Vars...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
+		return
+	}
+	// Compile now so malformed queries fail at registration, not first use.
+	if _, err := q.Plan(); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
+		return
+	}
+	canonical := q.Canonical()
+	id := queryID(req.Graph, canonical)
+
+	s.mu.Lock()
+	entry, ok := s.queries[id]
+	if !ok {
+		entry = &queryEntry{id: id, graph: req.Graph, canonical: canonical, q: q, arity: q.Arity()}
+		s.queries[id] = entry
+	}
+	s.mu.Unlock()
+
+	// Warm the index through the cache (singleflight dedups concurrent
+	// registrations; a hit returns immediately).
+	start := time.Now()
+	_, cached, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	if err != nil {
+		writeCacheErr(w, err)
+		return
+	}
+	wall := time.Since(start)
+
+	writeJSON(w, http.StatusOK, QueryResponse{
+		ID:        entry.id,
+		Graph:     entry.graph,
+		Canonical: entry.canonical,
+		Arity:     entry.arity,
+		Cached:    cached,
+		BuildNS:   wall.Nanoseconds(),
+	})
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	id := qs.Get("query")
+	cursor := qs.Get("cursor")
+
+	var start []int
+	skipFirst := false
+	if cursor != "" {
+		cid, last, err := decodeCursor(cursor)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, ErrInvalidCursor, err.Error())
+			return
+		}
+		if id != "" && id != cid {
+			writeErr(w, http.StatusBadRequest, ErrInvalidCursor, "cursor belongs to a different query")
+			return
+		}
+		id = cid
+		start = last
+		skipFirst = true
+	}
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, "query or cursor is required")
+		return
+	}
+	entry, ok := s.lookupQuery(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", id))
+		return
+	}
+	g := s.cfg.Graphs[entry.graph]
+	if start == nil {
+		start = make([]int, entry.arity)
+	} else if err := validateTuple(start, entry.arity, g.N()); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrInvalidCursor, err.Error())
+		return
+	}
+
+	limit := s.cfg.DefaultLimit
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, ErrBadRequest, fmt.Sprintf("bad limit %q", v))
+			return
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	if limit > s.cfg.MaxLimit {
+		limit = s.cfg.MaxLimit // cap, don't error: the cursor loses nothing
+	}
+
+	ix, _, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	if err != nil {
+		writeCacheErr(w, err)
+		return
+	}
+
+	it := ix.IteratorFrom(start)
+	sols := make([][]int, 0, min(limit, 1024))
+	ctx := r.Context()
+	for len(sols) < limit {
+		if len(sols)%64 == 0 && ctx.Err() != nil {
+			writeCacheErr(w, ctx.Err())
+			return
+		}
+		sol, ok := it.Next()
+		if !ok {
+			break
+		}
+		if skipFirst {
+			skipFirst = false
+			if tupleEqual(sol, start) {
+				continue // the cursor tuple itself was already served
+			}
+		}
+		sols = append(sols, sol)
+	}
+
+	resp := EnumerateResponse{
+		ID:        entry.id,
+		Solutions: sols,
+		Count:     len(sols),
+		Limit:     limit,
+		Done:      !it.HasNext(),
+	}
+	if !resp.Done && len(sols) > 0 {
+		resp.NextCursor = encodeCursor(entry.id, sols[len(sols)-1])
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
+	entry, tuple, ix, ok := s.tupleEndpoint(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, TestResponse{ID: entry.id, Tuple: tuple, Solution: ix.Test(tuple)})
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	entry, tuple, ix, ok := s.tupleEndpoint(w, r)
+	if !ok {
+		return
+	}
+	sol, found := ix.Next(tuple)
+	writeJSON(w, http.StatusOK, NextResponse{ID: entry.id, Solution: sol, Found: found})
+}
+
+// tupleEndpoint factors the shared decode/validate/index-fetch path of
+// /v1/test and /v1/next.
+func (s *Server) tupleEndpoint(w http.ResponseWriter, r *http.Request) (*queryEntry, []int, *repro.Index, bool) {
+	var req TupleRequest
+	if !decodeBody(w, r, &req) {
+		return nil, nil, nil, false
+	}
+	entry, ok := s.lookupQuery(req.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", req.ID))
+		return nil, nil, nil, false
+	}
+	g := s.cfg.Graphs[entry.graph]
+	if err := validateTuple(req.Tuple, entry.arity, g.N()); err != nil {
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
+		return nil, nil, nil, false
+	}
+	ix, _, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	if err != nil {
+		writeCacheErr(w, err)
+		return nil, nil, nil, false
+	}
+	return entry, req.Tuple, ix, true
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Graphs: make(map[string]GraphStats, len(s.cfg.Graphs)),
+		Cache:  s.cache.Stats(),
+	}
+	for name, g := range s.cfg.Graphs {
+		resp.Graphs[name] = GraphStats{N: g.N(), M: g.M(), Colors: g.NumColors()}
+	}
+	s.mu.Lock()
+	for _, e := range s.queries {
+		resp.Queries = append(resp.Queries, QueryStats{
+			ID: e.id, Graph: e.graph, Canonical: e.canonical, Arity: e.arity,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(resp.Queries, func(i, j int) bool { return resp.Queries[i].ID < resp.Queries[j].ID })
+	if s.reg != nil {
+		var b strings.Builder
+		if err := s.reg.WriteJSON(&b); err == nil {
+			resp.Metrics = json.RawMessage(b.String())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, FlushResponse{Flushed: s.cache.Flush()})
+}
+
+// --- helpers ----------------------------------------------------------
+
+func (s *Server) lookupQuery(id string) (*queryEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.queries[id]
+	return e, ok
+}
+
+// decodeBody parses the JSON body into v, answering 400 on malformed or
+// oversized input. Returns false when the request was already answered.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, ErrBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, ErrBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeCacheErr maps index-acquisition errors to API errors.
+func writeCacheErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusGatewayTimeout, ErrDeadlineExceeded, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown, "request canceled")
+	default:
+		writeErr(w, http.StatusInternalServerError, ErrInternal, err.Error())
+	}
+}
+
+func validateTuple(tuple []int, arity, n int) error {
+	if len(tuple) != arity {
+		return fmt.Errorf("tuple has %d components, query arity is %d", len(tuple), arity)
+	}
+	for i, v := range tuple {
+		if v < 0 || v >= n {
+			return fmt.Errorf("tuple component %d = %d out of range [0,%d)", i, v, n)
+		}
+	}
+	return nil
+}
+
+func tupleEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -31,8 +31,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -83,12 +86,17 @@ func GraphClasses() []string {
 }
 
 // Query is a parsed FO⁺ query with an ordered tuple of free variables.
+// A *Query is safe for concurrent use: the lazily compiled normal form is
+// guarded by a sync.Once, so one Query may back many concurrent
+// BuildIndex calls.
 type Query struct {
 	// Phi is the formula; Vars fixes the output-column order.
 	Phi  fo.Formula
 	Vars []fo.Var
 
-	compiled *core.LocalQuery
+	compileOnce sync.Once
+	compiled    *core.LocalQuery
+	compileErr  error
 }
 
 // ParseQuery parses a query in the textual language, e.g.
@@ -122,16 +130,26 @@ func MustParseQuery(src string, vars ...string) *Query {
 // Arity returns the number of output columns.
 func (q *Query) Arity() int { return len(q.Vars) }
 
-// compile caches the decomposed normal form.
+// compile caches the decomposed normal form. The sync.Once makes the lazy
+// write safe when one *Query is shared by concurrent BuildIndex calls.
 func (q *Query) compile() (*core.LocalQuery, error) {
-	if q.compiled == nil {
-		lq, err := core.Compile(q.Phi, q.Vars, core.CompileOptions{})
-		if err != nil {
-			return nil, err
-		}
-		q.compiled = lq
+	q.compileOnce.Do(func() {
+		q.compiled, q.compileErr = core.Compile(q.Phi, q.Vars, core.CompileOptions{})
+	})
+	return q.compiled, q.compileErr
+}
+
+// Canonical returns a canonical textual form of the query: the printed
+// formula (stable under parse → String round trips) plus the output-column
+// order. Two queries with equal Canonical() are the same query, whatever
+// whitespace or redundant parentheses the original source used — the
+// serving layer keys its index cache on it.
+func (q *Query) Canonical() string {
+	parts := make([]string, len(q.Vars))
+	for i, v := range q.Vars {
+		parts[i] = string(v)
 	}
-	return q.compiled, nil
+	return q.Phi.String() + " ; vars " + strings.Join(parts, ",")
 }
 
 // Index is the preprocessed structure of Theorem 2.3 for one graph and one
@@ -184,11 +202,20 @@ func BuildIndex(g *Graph, q *Query) (*Index, error) {
 
 // BuildIndexOpt is BuildIndex with explicit options.
 func BuildIndexOpt(g *Graph, q *Query, opt IndexOptions) (*Index, error) {
+	return BuildIndexCtx(context.Background(), g, q, opt)
+}
+
+// BuildIndexCtx is BuildIndexOpt bounded by a context: the pseudo-linear
+// preprocessing checks ctx between its phases (dist → cover → kernel →
+// starter → skip) and aborts with an error wrapping ctx's error once it is
+// canceled or past its deadline. The serving layer uses this to enforce
+// per-request build deadlines.
+func BuildIndexCtx(ctx context.Context, g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 	lq, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics})
+	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

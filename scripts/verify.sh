@@ -2,10 +2,16 @@
 # Verification tiers (see README "Testing"):
 #   tier 1 — build + full test suite (the CI gate; ROADMAP "Tier-1 verify")
 #   tier 2 — vet + race-detector pass over the concurrency-sensitive suite,
-#            in -short mode so it stays a minutes-not-hours check
-#   tier 3 — metrics-overhead guard: NextGeq with metrics disabled must not
-#            be slower than with metrics enabled (the nil-sink fast path of
-#            internal/obs; see README "Observability")
+#            in -short mode so it stays a minutes-not-hours check; the
+#            serving layer (internal/serve) additionally runs its full
+#            suite under -race — it is the concurrency surface of the repo
+#   tier 3 — performance guards:
+#            (a) metrics-overhead guard: NextGeq with metrics disabled must
+#                not be slower than with metrics enabled (the nil-sink fast
+#                path of internal/obs; see README "Observability")
+#            (b) cold-resume guard: a cold /v1/enumerate page after cache
+#                eviction stays within a constant factor of a warm page —
+#                cursor resume really is O(1) (see README "Serving")
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -26,11 +32,15 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     echo "== tier 2: go vet ./... && go test -race -short ./... =="
     go vet ./...
     go test -race -short ./...
+    echo "== tier 2: serving layer full suite under -race =="
+    go test -race -count=1 ./internal/serve/
 fi
 
 if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     echo "== tier 3: metrics-overhead guard (OBS_GUARD=1) =="
     OBS_GUARD=1 go test -run TestMetricsOverheadGuard -count=1 -v ./internal/core/
+    echo "== tier 3: cold-resume guard (SERVE_GUARD=1) =="
+    SERVE_GUARD=1 go test -run TestColdResumeGuard -count=1 -v ./internal/serve/
 fi
 
 echo "verify: OK (tier $tier)"
