@@ -194,7 +194,7 @@ func writeBenchJSON(path string, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		f.Close() //fod:errok — the encode error takes precedence over the cleanup close
 		return err
 	}
 	return f.Close()

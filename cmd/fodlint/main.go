@@ -1,0 +1,58 @@
+// Command fodlint is the repository's custom static-analysis driver: it
+// loads every package of the module, runs the repo-specific analyzers of
+// internal/lint (hotpath, maporder, obsnil, errdrop) and exits non-zero
+// with file:line diagnostics when any invariant behind the paper's
+// complexity claims is violated.
+//
+// Usage:
+//
+//	go run ./cmd/fodlint ./...          # lint the whole module
+//	go run ./cmd/fodlint ./internal/... # lint a subtree
+//	go run ./cmd/fodlint -list          # print the analyzers and exit
+//
+// fodlint runs as a tier-2 step of scripts/verify.sh; see the README
+// "Static analysis" section for the annotation vocabulary
+// (//fod:hotpath, //fod:sorted, //fod:errok) and DESIGN.md for the
+// mapping from each analyzer to the paper claim it protects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	dir := flag.String("C", ".", "module directory to lint")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fodlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fodlint: %d invariant violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Printf("fodlint: %d packages clean (%d analyzers)\n", len(pkgs), len(analyzers))
+}

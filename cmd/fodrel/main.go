@@ -56,7 +56,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
+		defer f.Close() //fod:errok — input opened read-only; close errors carry no data loss
 		in = f
 	}
 	db, err := rel.Read(in)

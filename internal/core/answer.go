@@ -15,7 +15,13 @@ import (
 // for every clause (τ, i) and the minimum is returned. When the engine is
 // instrumented, every call's latency lands in the engine.next_geq_ns
 // histogram; uninstrumented engines pay one nil check.
+//
+// The arity check and the clock reads live here, in the un-annotated
+// wrapper; the inner nextGeq is the //fod:hotpath part.
 func (e *Engine) NextGeq(a []graph.V) ([]graph.V, bool) {
+	if len(a) != e.k {
+		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
+	}
 	if h := e.instr.nextGeq; h != nil {
 		start := time.Now()
 		sol, ok := e.nextGeq(a)
@@ -25,10 +31,10 @@ func (e *Engine) NextGeq(a []graph.V) ([]graph.V, bool) {
 	return e.nextGeq(a)
 }
 
+// nextGeq computes NextGeq for a correctly-sized tuple.
+//
+//fod:hotpath
 func (e *Engine) nextGeq(a []graph.V) ([]graph.V, bool) {
-	if len(a) != e.k {
-		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
-	}
 	if e.g.N() == 0 {
 		return nil, false
 	}
@@ -57,6 +63,9 @@ func (e *Engine) NextGt(a []graph.V) ([]graph.V, bool) {
 // NextLast implements Lemma 5.2; see nextLast. Instrumented engines
 // record per-call latency into engine.next_last_ns.
 func (e *Engine) NextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
+	if len(prefix) != e.k-1 {
+		panic(fmt.Sprintf("core: prefix arity %d, want %d", len(prefix), e.k-1))
+	}
 	if h := e.instr.nextLast; h != nil {
 		start := time.Now()
 		v, ok := e.nextLast(prefix, b)
@@ -70,10 +79,9 @@ func (e *Engine) NextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
 // the smallest b′ ≥ b with (ā, b′) ∈ q(G), in constant time. This is the
 // induction step the paper nests with Theorem 5.1, and the natural
 // "page through partners of ā" primitive for applications.
+//
+//fod:hotpath
 func (e *Engine) nextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
-	if len(prefix) != e.k-1 {
-		panic(fmt.Sprintf("core: prefix arity %d, want %d", len(prefix), e.k-1))
-	}
 	if b < 0 {
 		b = 0
 	}
@@ -95,6 +103,8 @@ func (e *Engine) nextLast(prefix []graph.V, b graph.V) (graph.V, bool) {
 // prefixMatches checks the clause constraints that involve only the
 // prefix: the distance pattern among its positions and the component
 // formulas of components fully contained in it.
+//
+//fod:hotpath
 func (e *Engine) prefixMatches(rt *clauseRT, prefix []graph.V) bool {
 	for i := range prefix {
 		for j := i + 1; j < len(prefix); j++ {
@@ -105,6 +115,13 @@ func (e *Engine) prefixMatches(rt *clauseRT, prefix []graph.V) bool {
 	}
 	for _, c := range rt.comps {
 		if c.last >= len(prefix) {
+			continue
+		}
+		if c.starterReady {
+			// Singleton component: the starter bitmap answers in O(1).
+			if !c.inStart[prefix[c.positions[0]]] {
+				return false
+			}
 			continue
 		}
 		vals := make([]graph.V, len(c.positions))
@@ -120,8 +137,12 @@ func (e *Engine) prefixMatches(rt *clauseRT, prefix []graph.V) bool {
 
 // Test implements Corollary 2.4: constant-time membership of ā in the
 // query result. Instrumented engines record per-call latency into
-// engine.test_ns.
+// engine.test_ns. The arity check and the clock reads live in this
+// un-annotated wrapper.
 func (e *Engine) Test(a []graph.V) bool {
+	if len(a) != e.k {
+		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
+	}
 	if h := e.instr.test; h != nil {
 		start := time.Now()
 		ok := e.test(a)
@@ -131,10 +152,12 @@ func (e *Engine) Test(a []graph.V) bool {
 	return e.test(a)
 }
 
+// test is the Corollary 2.4 membership check proper; the LINT_GUARD
+// AllocsPerRun suite pins it at 0 allocs/op on singleton-component
+// queries.
+//
+//fod:hotpath
 func (e *Engine) test(a []graph.V) bool {
-	if len(a) != e.k {
-		panic(fmt.Sprintf("core: tuple arity %d, want %d", len(a), e.k))
-	}
 	for _, rt := range e.clauses {
 		if e.testClause(rt, a) {
 			return true
@@ -143,6 +166,7 @@ func (e *Engine) test(a []graph.V) bool {
 	return false
 }
 
+//fod:hotpath
 func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
 	for i := 0; i < e.k; i++ {
 		for j := i + 1; j < e.k; j++ {
@@ -152,6 +176,14 @@ func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
 		}
 	}
 	for _, c := range rt.comps {
+		if c.starterReady {
+			// Singleton component: the starter bitmap answers in O(1)
+			// without materializing the component tuple.
+			if !c.inStart[a[c.positions[0]]] {
+				return false
+			}
+			continue
+		}
 		vals := make([]graph.V, len(c.positions))
 		for i, p := range c.positions {
 			vals[i] = a[p]
@@ -209,43 +241,60 @@ func (e *Engine) Count() int {
 }
 
 // nextClause returns the smallest tuple ≥ a matching the clause, or nil.
-// It is a lexicographic backtracking search whose per-level candidate
-// generators are the paper's Case I (new component: skip pointers over the
-// starter list plus kernel scans) and Case II (ball scan around the
-// component's first element).
+//
+//fod:hotpath
 func (e *Engine) nextClause(rt *clauseRT, a []graph.V) []graph.V {
 	tuple := make([]graph.V, e.k)
-	var rec func(j int, tight bool) bool
-	rec = func(j int, tight bool) bool {
-		if j == e.k {
-			return true
-		}
-		lower := 0
-		if tight {
-			lower = a[j]
-		}
-		for v := e.nextCandidate(rt, j, tuple[:j], lower); v >= 0; {
-			tuple[j] = v
-			e.ctr.candidates.Add(1)
-			if rec(j+1, tight && v == a[j]) {
-				return true
-			}
-			e.ctr.deadEnds.Add(1)
-			if v+1 >= e.g.N() {
-				break
-			}
-			v = e.nextCandidate(rt, j, tuple[:j], v+1)
-		}
-		return false
-	}
-	if rec(0, true) {
+	if e.nextClauseInto(rt, a, tuple) {
 		return tuple
 	}
 	return nil
 }
 
+// nextClauseInto writes the smallest tuple ≥ a matching the clause into
+// tuple (len(tuple) == k) and reports whether one exists. It is a
+// lexicographic backtracking search whose per-level candidate generators
+// are the paper's Case I (new component: skip pointers over the starter
+// list plus kernel scans) and Case II (ball scan around the component's
+// first element). The recursion is a method, not a closure, so a steady-
+// state caller that supplies the buffer (the Iterator) allocates nothing.
+//
+//fod:hotpath
+func (e *Engine) nextClauseInto(rt *clauseRT, a, tuple []graph.V) bool {
+	return e.nextClauseRec(rt, a, tuple, 0, true)
+}
+
+// nextClauseRec places position j of tuple; tight means the prefix equals
+// a's, so position j is still bounded below by a[j].
+//
+//fod:hotpath
+func (e *Engine) nextClauseRec(rt *clauseRT, a, tuple []graph.V, j int, tight bool) bool {
+	if j == e.k {
+		return true
+	}
+	var lower graph.V
+	if tight {
+		lower = a[j]
+	}
+	for v := e.nextCandidate(rt, j, tuple[:j], lower); v >= 0; {
+		tuple[j] = v
+		e.ctr.candidates.Add(1)
+		if e.nextClauseRec(rt, a, tuple, j+1, tight && v == a[j]) {
+			return true
+		}
+		e.ctr.deadEnds.Add(1)
+		if v+1 >= e.g.N() {
+			break
+		}
+		v = e.nextCandidate(rt, j, tuple[:j], v+1)
+	}
+	return false
+}
+
 // nextCandidate returns the smallest v ≥ lower that is admissible for
 // position j given the placed prefix, or -1.
+//
+//fod:hotpath
 func (e *Engine) nextCandidate(rt *clauseRT, j int, prefix []graph.V, lower graph.V) graph.V {
 	if lower >= e.g.N() {
 		return -1
@@ -263,6 +312,8 @@ func (e *Engine) nextCandidate(rt *clauseRT, j int, prefix []graph.V, lower grap
 // the paper's Case I: the answer is the minimum of the skip-pointer
 // candidate (outside every kernel of the prefix's canonical bags, hence
 // automatically far) and one scan per canonical bag kernel.
+//
+//fod:hotpath
 func (e *Engine) nextOpening(rt *clauseRT, c *compRT, j int, prefix []graph.V, lower graph.V) graph.V {
 	if len(prefix) == 0 {
 		i := sort.SearchInts(c.starter, lower)
@@ -271,8 +322,12 @@ func (e *Engine) nextOpening(rt *clauseRT, c *compRT, j int, prefix []graph.V, l
 		}
 		return c.starter[i]
 	}
-	// Canonical bags of the prefix elements, deduplicated.
-	var bags []int
+	// Canonical bags of the prefix elements, deduplicated. The prefix has
+	// ≤ k−1 ≤ skip.MaxSetSize elements (Preprocess enforces the arity
+	// bound), so a fixed-size stack array holds the set without
+	// allocating.
+	var bagArr [skip.MaxSetSize]int
+	bags := bagArr[:0]
 	for _, p := range prefix {
 		x := e.cov.Assign(p)
 		dup := false
@@ -313,6 +368,7 @@ func (e *Engine) nextOpening(rt *clauseRT, c *compRT, j int, prefix []graph.V, l
 	return best
 }
 
+//fod:hotpath
 func (e *Engine) farFromAll(v graph.V, prefix []graph.V) bool {
 	for _, p := range prefix {
 		if e.dix.Within(v, p, e.r) {
@@ -327,6 +383,8 @@ func (e *Engine) farFromAll(v graph.V, prefix []graph.V) bool {
 // around the component's first element; each is checked against the full
 // distance pattern to the prefix, and the component formula is evaluated
 // when the component completes at this position.
+//
+//fod:hotpath
 func (e *Engine) nextWithinComponent(rt *clauseRT, c *compRT, j int, prefix []graph.V, lower graph.V) graph.V {
 	anchor := prefix[rt.firstOf[j]]
 	ball := e.cachedBall(anchor)
@@ -346,6 +404,8 @@ func (e *Engine) nextWithinComponent(rt *clauseRT, c *compRT, j int, prefix []gr
 
 // patternOK verifies dist(prefix[i], v) ≤ R exactly matches the clause's
 // distance type for every placed position i.
+//
+//fod:hotpath
 func (e *Engine) patternOK(rt *clauseRT, j int, prefix []graph.V, v graph.V) bool {
 	for i, p := range prefix {
 		if e.dix.Within(p, v, e.r) != rt.clause.Type.Close(i, j) {
@@ -357,7 +417,13 @@ func (e *Engine) patternOK(rt *clauseRT, j int, prefix []graph.V, v graph.V) boo
 
 // componentHolds evaluates ψ_I with the component completed by v at its
 // last position.
+//
+//fod:hotpath
 func (e *Engine) componentHolds(c *compRT, prefix []graph.V, v graph.V) bool {
+	if c.starterReady {
+		// Singleton component: the starter bitmap answers in O(1).
+		return c.inStart[v]
+	}
 	vals := make([]graph.V, len(c.positions))
 	for i, p := range c.positions[:len(c.positions)-1] {
 		vals[i] = prefix[p]
@@ -378,6 +444,7 @@ func (e *Engine) cachedBall(anchor graph.V) []graph.V {
 	return b
 }
 
+//fod:hotpath
 func lexLess(a, b []graph.V) bool {
 	for i := range a {
 		if a[i] != b[i] {
@@ -387,16 +454,28 @@ func lexLess(a, b []graph.V) bool {
 	return false
 }
 
+// incrementTupleInto writes the successor of a in the lexicographic order
+// on [0,n)^k into dst (len(dst) == len(a)); ok=false at the maximum.
+//
+//fod:hotpath
+func incrementTupleInto(dst, a []graph.V, n int) bool {
+	copy(dst, a)
+	for i := len(dst) - 1; i >= 0; i-- {
+		if dst[i]+1 < n {
+			dst[i]++
+			return true
+		}
+		dst[i] = 0
+	}
+	return false
+}
+
 // incrementTuple returns the successor of a in the lexicographic order on
 // [0,n)^k, or ok=false at the maximum.
 func incrementTuple(a []graph.V, n int) ([]graph.V, bool) {
-	out := append([]graph.V(nil), a...)
-	for i := len(out) - 1; i >= 0; i-- {
-		if out[i]+1 < n {
-			out[i]++
-			return out, true
-		}
-		out[i] = 0
+	out := make([]graph.V, len(a))
+	if !incrementTupleInto(out, a, n) {
+		return nil, false
 	}
-	return nil, false
+	return out, true
 }

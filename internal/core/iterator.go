@@ -11,12 +11,22 @@ import "repro/internal/graph"
 // disjuncts does not pay for all of them on every step (NextGeq, by
 // contrast, is a one-shot primitive and probes every clause).
 //
+// The iterator owns every buffer it hands out, keeping steady-state Next
+// calls allocation-free (the LINT_GUARD AllocsPerRun suite pins Next at
+// 0 allocs/op): the slice returned by Next is valid only until the
+// following Next or Seek call — copy it to retain it, exactly as with
+// Enumerate.
+//
 // An Iterator borrows the Engine and must not be used concurrently with
 // other Engine calls.
 type Iterator struct {
-	e       *Engine
-	nexts   [][]graph.V // per clause: next candidate ≥ cursor, nil = drained
-	current []graph.V   // overall next solution, nil when exhausted
+	e     *Engine
+	nexts [][]graph.V // per clause: candidate ≥ cursor (aliases bufs), nil = drained
+	bufs  [][]graph.V // per-clause candidate buffers
+	cur   []graph.V   // the next solution to hand out
+	prev  []graph.V   // the previously handed-out solution (swap partner of cur)
+	succ  []graph.V   // successor scratch
+	has   bool
 }
 
 // Iterator returns a cursor positioned at the first solution.
@@ -34,49 +44,85 @@ func (e *Engine) IteratorFrom(a []graph.V) *Iterator {
 }
 
 // Seek repositions the cursor at the smallest solution ≥ a (Theorem 2.3:
-// constant time per clause).
+// constant time per clause). Buffers are created on first use and reused
+// by every later Seek and Next.
 func (it *Iterator) Seek(a []graph.V) {
-	it.nexts = make([][]graph.V, len(it.e.clauses))
-	it.current = nil
+	if it.bufs == nil {
+		n := len(it.e.clauses)
+		it.nexts = make([][]graph.V, n)
+		it.bufs = make([][]graph.V, n)
+		for i := range it.bufs {
+			it.bufs[i] = make([]graph.V, it.e.k)
+		}
+		it.cur = make([]graph.V, it.e.k)
+		it.prev = make([]graph.V, it.e.k)
+		it.succ = make([]graph.V, it.e.k)
+	}
+	it.has = false
 	if it.e.g.N() == 0 {
+		for i := range it.nexts {
+			it.nexts[i] = nil
+		}
 		return
 	}
 	for i, rt := range it.e.clauses {
-		it.nexts[i] = it.e.nextClause(rt, a)
+		if it.e.nextClauseInto(rt, a, it.bufs[i]) {
+			it.nexts[i] = it.bufs[i]
+		} else {
+			it.nexts[i] = nil
+		}
 	}
 	it.settle()
 }
 
-// settle recomputes the overall minimum of the per-clause candidates.
+// settle copies the overall minimum of the per-clause candidates into
+// it.cur.
+//
+//fod:hotpath
 func (it *Iterator) settle() {
-	it.current = nil
+	var best []graph.V
 	for _, cand := range it.nexts {
-		if cand != nil && (it.current == nil || lexLess(cand, it.current)) {
-			it.current = cand
+		if cand != nil && (best == nil || lexLess(cand, best)) {
+			best = cand
 		}
 	}
+	if best == nil {
+		it.has = false
+		return
+	}
+	copy(it.cur, best)
+	it.has = true
 }
 
 // HasNext reports whether another solution is available.
-func (it *Iterator) HasNext() bool { return it.current != nil }
+func (it *Iterator) HasNext() bool { return it.has }
 
 // Next returns the current solution and advances the cursor. The returned
-// slice is owned by the caller. ok=false signals exhaustion.
+// slice is valid until the next call to Next or Seek; copy it to retain
+// it. ok=false signals exhaustion.
+//
+//fod:hotpath
 func (it *Iterator) Next() ([]graph.V, bool) {
-	if it.current == nil {
+	if !it.has {
 		return nil, false
 	}
-	out := it.current
-	succ, ok := incrementTuple(out, it.e.g.N())
-	if !ok {
-		it.current = nil
+	// Hand out cur and flip the buffer pair, so settle below writes the
+	// upcoming solution without clobbering the slice being returned.
+	out := it.cur
+	it.cur, it.prev = it.prev, it.cur
+	if !incrementTupleInto(it.succ, out, it.e.g.N()) {
+		it.has = false
 		return out, true
 	}
 	// Advance exactly the clauses whose candidate was consumed (several
 	// clauses may share a solution tuple).
 	for i, cand := range it.nexts {
 		if cand != nil && !lexLess(out, cand) { // cand ≤ out, i.e. cand == out
-			it.nexts[i] = it.e.nextClause(it.e.clauses[i], succ)
+			if it.e.nextClauseInto(it.e.clauses[i], it.succ, it.bufs[i]) {
+				it.nexts[i] = it.bufs[i]
+			} else {
+				it.nexts[i] = nil
+			}
 		}
 	}
 	it.settle()

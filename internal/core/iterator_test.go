@@ -23,7 +23,7 @@ func TestIteratorMatchesEnumerate(t *testing.T) {
 		if !ok {
 			break
 		}
-		got = append(got, s)
+		got = append(got, append([]graph.V(nil), s...))
 	}
 	if _, ok := tuplesEqual(got, want); !ok {
 		t.Fatalf("iterator produced %d tuples, enumerate %d", len(got), len(want))
@@ -82,7 +82,7 @@ func TestIteratorMultiClauseMerge(t *testing.T) {
 		if !ok {
 			break
 		}
-		got = append(got, s)
+		got = append(got, append([]graph.V(nil), s...))
 	}
 	if i, ok := tuplesEqual(got, want); !ok {
 		t.Fatalf("merge mismatch near %d: %d vs %d tuples (%v vs %v)",

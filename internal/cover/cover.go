@@ -381,6 +381,8 @@ func (c *Cover) Bag(i int) []graph.V { return c.bags[i] }
 func (c *Cover) Center(i int) graph.V { return c.centers[i] }
 
 // Assign returns 𝒳(a), the index of the canonical bag containing N_R(a).
+//
+//fod:hotpath
 func (c *Cover) Assign(a graph.V) int { return int(c.assign[a]) }
 
 // BagsOf returns the sorted indices of all bags containing v.
@@ -526,6 +528,8 @@ func (c *Cover) Kernel(i int) []graph.V { return c.kernels[i] }
 // InKernel reports whether v ∈ K_p(X_i), in constant time (binary search
 // over the ≤ δ(𝒳) kernel ids of v; the equivalent Storing-Theorem lookup
 // backs KernelContains and is exercised by the tests).
+//
+//fod:hotpath
 func (c *Cover) InKernel(i int, v graph.V) bool {
 	if c.kernelOf == nil {
 		panic("cover: ComputeKernels has not been called")
@@ -563,6 +567,8 @@ func (c *Cover) KernelContains(i int, v graph.V) bool {
 }
 
 // KernelsOf returns the sorted indices of bags whose kernel contains v.
+//
+//fod:hotpath
 func (c *Cover) KernelsOf(v graph.V) []int32 {
 	if c.kernelOf == nil {
 		panic("cover: ComputeKernels has not been called")

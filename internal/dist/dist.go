@@ -470,10 +470,14 @@ func (ix *Index) Stats() Stats { return *ix.stats }
 func (ix *Index) Radius() int { return ix.R }
 
 // Within reports whether dist_G(a, b) ≤ rr, for any rr ≤ R. It implements
-// fo.DistTester and is safe for concurrent use.
+// fo.DistTester and is safe for concurrent use. Every distance-type test
+// of the answering phase lands here, so the formatted panic lives in the
+// un-annotated badRadius helper.
+//
+//fod:hotpath
 func (ix *Index) Within(a, b graph.V, rr int) bool {
 	if rr > ix.R {
-		panic(fmt.Sprintf("dist: query radius %d exceeds index radius %d", rr, ix.R))
+		ix.badRadius(rr)
 	}
 	if rr < 0 {
 		return false
@@ -497,6 +501,10 @@ func (ix *Index) Within(a, b graph.V, rr int) bool {
 		return false
 	}
 	return bag.within(la, lb, rr)
+}
+
+func (ix *Index) badRadius(rr int) {
+	panic(fmt.Sprintf("dist: query radius %d exceeds index radius %d", rr, ix.R))
 }
 
 // within answers inside G[X] with local coordinates (Section 4.2.2's case

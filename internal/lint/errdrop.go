@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop returns the analyzer that forbids silently discarded error
+// returns in the serving layer (internal/serve) and the CLIs (cmd/*):
+// an HTTP handler that drops an encoder or Write error can emit a
+// truncated or malformed body with a 200 status, and a CLI that drops a
+// flush/close error reports success for an artifact that never hit disk.
+//
+// Flagged forms (unless the statement carries `//fod:errok` with a
+// justification):
+//
+//	f()          // expression statement discarding an error result
+//	defer f()    // deferred call discarding an error result
+//	go f()       // goroutine call discarding an error result
+//	_ = f()      // every error result assigned to blank
+//
+// Exemptions: the fmt.Print family writing to stdout/stderr (their error
+// is the terminal going away) and writers documented to never fail
+// ((*strings.Builder), (*bytes.Buffer)).
+func ErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "no discarded error returns in internal/serve and cmd/*",
+		Run:  runErrDrop,
+	}
+}
+
+func inErrDropScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/serve") || strings.Contains(pkgPath, "/cmd/")
+}
+
+func runErrDrop(pass *Pass) {
+	if !inErrDropScope(pass.Pkg.Path()) {
+		return
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	returnsError := func(call *ast.CallExpr) bool {
+		tv, ok := pass.Info.Types[call]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Implements(t.At(i).Type(), errIface) {
+					return true
+				}
+			}
+			return false
+		default:
+			return types.Implements(t, errIface)
+		}
+	}
+
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if ok && returnsError(call) && !exemptCall(pass, call) && !pass.hasAnnotation(file, n, "fod:errok") {
+					pass.Report(n.Pos(), "error return of %s is discarded (handle it or annotate //fod:errok)", calleeName(pass, call))
+				}
+			case *ast.DeferStmt:
+				if returnsError(n.Call) && !exemptCall(pass, n.Call) && !pass.hasAnnotation(file, n, "fod:errok") {
+					pass.Report(n.Pos(), "deferred call %s discards its error (handle it or annotate //fod:errok)", calleeName(pass, n.Call))
+				}
+			case *ast.GoStmt:
+				if returnsError(n.Call) && !exemptCall(pass, n.Call) && !pass.hasAnnotation(file, n, "fod:errok") {
+					pass.Report(n.Pos(), "go statement %s discards its error (handle it or annotate //fod:errok)", calleeName(pass, n.Call))
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, file, n, returnsError, errIface)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankAssign flags `_ = f()` / `_, _ = f()` style statements where
+// every error-typed result lands in a blank identifier.
+func checkBlankAssign(pass *Pass, file *ast.File, as *ast.AssignStmt,
+	returnsError func(*ast.CallExpr) bool, errIface *types.Interface) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !returnsError(call) || exemptCall(pass, call) || pass.hasAnnotation(file, as, "fod:errok") {
+		return
+	}
+	// Find the error result positions and check whether every one of them
+	// is blank-assigned.
+	tv := pass.Info.Types[call]
+	var errIdx []int
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Implements(t.At(i).Type(), errIface) {
+				errIdx = append(errIdx, i)
+			}
+		}
+	default:
+		errIdx = []int{0}
+	}
+	if len(errIdx) == 0 || len(as.Lhs) <= errIdx[len(errIdx)-1] {
+		return
+	}
+	for _, i := range errIdx {
+		if id, ok := as.Lhs[i].(*ast.Ident); !ok || id.Name != "_" {
+			return // at least one error result is bound to a real variable
+		}
+	}
+	pass.Report(as.Pos(), "error return of %s is blank-discarded (handle it or annotate //fod:errok)", calleeName(pass, call))
+}
+
+// exemptCall reports callees whose error is conventionally meaningless:
+// the fmt print family targeting stdout/stderr and never-failing writers.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg := packageOf(pass, sel.X); pkg != nil && pkg.Imported().Path() == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return isStdStream(pass, call.Args)
+		}
+		return false
+	}
+	// Methods on writers that are documented to never return an error.
+	if selInfo, ok := pass.Info.Selections[sel]; ok {
+		t := selInfo.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t.String() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// isStdStream reports whether the first argument is os.Stdout/os.Stderr.
+func isStdStream(pass *Pass, args []ast.Expr) bool {
+	if len(args) == 0 {
+		return false
+	}
+	sel, ok := args[0].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := packageOf(pass, sel.X)
+	return pkg != nil && pkg.Imported().Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if pkg := packageOf(pass, fun.X); pkg != nil {
+			return pkg.Name() + "." + fun.Sel.Name
+		}
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			t := sel.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return n.Obj().Name() + "." + fun.Sel.Name
+			}
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

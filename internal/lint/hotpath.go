@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath returns the analyzer enforcing the constant-delay contract:
+// a function whose doc comment carries `//fod:hotpath` is part of the
+// answering phase of Theorem 2.3 (NextGeq / Test / skip-pointer lookup /
+// store successor search), whose per-call cost the paper bounds by a
+// constant. Inside such a function the analyzer forbids the constructs
+// that silently break that bound:
+//
+//   - calls into package fmt (formatting allocates and reflects)
+//   - time-dependent calls (time.Now, time.Since, …): the hot path must
+//     not read clocks — instrumentation lives in un-annotated wrappers
+//     behind the obs nil-check
+//   - map or channel creation (make / literals): unbounded allocation
+//   - string <-> []byte conversions (always allocate)
+//   - append whose result lands anywhere but a plain local variable
+//     (field, index or global targets amortize to heap growth)
+//   - closures capturing loop variables (each iteration allocates)
+//
+// The dynamic twin of this analyzer is the LINT_GUARD AllocsPerRun suite
+// in internal/core, which pins Iterator.Next and Engine.Test at
+// 0 allocs/op (see DESIGN.md "Static analysis").
+func HotPath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "fod:hotpath functions must stay allocation- and clock-free",
+		Run:  runHotPath,
+	}
+}
+
+// timeDependent are the clock-reading functions of package time.
+var timeDependent = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runHotPath(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasAnnotation(fn, "fod:hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	allowedAppends := localAppendTargets(pass, fn.Body)
+	loopVars := loopVarObjects(pass, fn.Body)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, allowedAppends)
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Report(n.Pos(), "%s: map literal allocates on the hot path", fn.Name.Name)
+				case *types.Chan:
+					pass.Report(n.Pos(), "%s: channel literal on the hot path", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			reportLoopCaptures(pass, fn, n, loopVars)
+			return true
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, allowedAppends map[*ast.CallExpr]bool) {
+	// Package-qualified calls: fmt.* and the time-dependent set.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg := packageOf(pass, sel.X); pkg != nil {
+			switch pkg.Imported().Path() {
+			case "fmt":
+				pass.Report(call.Pos(), "%s: calls fmt.%s on the hot path (allocates; format outside //fod:hotpath)",
+					fn.Name.Name, sel.Sel.Name)
+			case "time":
+				if timeDependent[sel.Sel.Name] {
+					pass.Report(call.Pos(), "%s: calls time.%s on the hot path (clock reads belong in un-annotated instrumented wrappers)",
+						fn.Name.Name, sel.Sel.Name)
+				}
+			}
+		}
+	}
+	// Builtins and conversions.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.Info.Uses[fun].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if t := pass.Info.TypeOf(call.Args[0]); t != nil {
+						switch t.Underlying().(type) {
+						case *types.Map:
+							pass.Report(call.Pos(), "%s: make(map) on the hot path", fn.Name.Name)
+						case *types.Chan:
+							pass.Report(call.Pos(), "%s: make(chan) on the hot path", fn.Name.Name)
+						}
+					}
+				}
+			case "append":
+				if !allowedAppends[call] {
+					pass.Report(call.Pos(), "%s: append escapes (result must be assigned to a plain local variable)", fn.Name.Name)
+				}
+			}
+		}
+	}
+	// string <-> []byte conversions.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := pass.Info.TypeOf(call.Fun)
+		from := pass.Info.TypeOf(call.Args[0])
+		if isStringByteConv(to, from) {
+			pass.Report(call.Pos(), "%s: string/[]byte conversion allocates on the hot path", fn.Name.Name)
+		}
+	}
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// packageOf resolves expr to the *types.PkgName it names, or nil.
+func packageOf(pass *Pass, expr ast.Expr) *types.PkgName {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg, _ := pass.Info.Uses[id].(*types.PkgName)
+	return pkg
+}
+
+// localAppendTargets collects the append calls whose result is assigned to
+// a plain function-local variable — the only form whose amortized growth
+// stays confined to the caller's frame logic (`buf = append(buf, x)`).
+func localAppendTargets(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	allowed := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && isLocalVar(pass, id) {
+				allowed[call] = true
+			}
+		}
+		return true
+	})
+	return allowed
+}
+
+func isLocalVar(pass *Pass, id *ast.Ident) bool {
+	if id.Name == "_" {
+		return false
+	}
+	obj := pass.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-scope variables are globals; anything nested deeper is local.
+	return v.Parent() != pass.Pkg.Scope()
+}
+
+// loopVarObjects collects the objects declared as range/for loop variables
+// anywhere in body.
+func loopVarObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	def := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			def(n.Key)
+			def(n.Value)
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					def(lhs)
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// reportLoopCaptures flags a closure that references a loop variable of
+// the enclosing function: such a closure cannot be allocated once and
+// reused, so every loop iteration pays a heap allocation.
+func reportLoopCaptures(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	if len(loopVars) == 0 {
+		return
+	}
+	reported := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && loopVars[obj] {
+			// The loop variable must be declared outside the literal for
+			// this to be a capture.
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Report(lit.Pos(), "%s: closure captures loop variable %q (allocates per iteration)", fn.Name.Name, id.Name)
+				reported = true
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file suite: each testdata/src/<rule> directory is a
+// standalone package type-checked by LoadDir under an import path that
+// places it inside the analyzer's scope. Expected diagnostics are
+// declared in the source itself with trailing `// want "regexp"`
+// comments; the harness demands an exact line-for-line match in both
+// directions (no missing findings, no extra ones).
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// goldenWants extracts the want expectations of every file in the
+// package, keyed by file:line.
+func goldenWants(t *testing.T, pkg *Package) map[string]*regexp.Regexp {
+	t.Helper()
+	wants := map[string]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", filename, i+1, m[1], err)
+			}
+			wants[posKey(filename, i+1)] = re
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconvItoa(line)
+}
+
+func strconvItoa(n int) string {
+	// tiny positive-int formatter; avoids importing strconv for one call
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func runGolden(t *testing.T, rule, pkgPath string, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", rule), pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	wants := goldenWants(t, pkg)
+	seen := map[string]bool{}
+	for _, d := range diags {
+		k := posKey(d.Pos.Filename, d.Pos.Line)
+		re, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s: message %q does not match want %q", k, d.Message, re)
+		}
+		seen[k] = true
+	}
+	for k, re := range wants {
+		if !seen[k] {
+			t.Errorf("%s: expected diagnostic matching %q, got none", k, re)
+		}
+	}
+}
+
+func TestHotPathGolden(t *testing.T) {
+	runGolden(t, "hotpath", "example.com/hot", HotPath())
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, "maporder", "example.com/internal/core", MapOrder())
+}
+
+// TestMapOrderScope re-checks the maporder fixture under an import path
+// outside the deterministic packages: every finding must vanish.
+func TestMapOrderScope(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "maporder"), "example.com/internal/api")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{MapOrder()}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestObsNilGolden(t *testing.T) {
+	runGolden(t, "obsnil", "example.com/internal/obs", ObsNil())
+}
+
+func TestErrDropGolden(t *testing.T) {
+	runGolden(t, "errdrop", "example.com/internal/serve", ErrDrop())
+}
+
+// TestErrDropCmdScope confirms the cmd/* scoping of errdrop.
+func TestErrDropCmdScope(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "errdrop"), "example.com/cmd/handler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{ErrDrop()})
+	if len(diags) == 0 {
+		t.Fatal("cmd/* package should be in errdrop scope")
+	}
+}
+
+// TestAnalyzerDocs keeps every analyzer self-describing for -list.
+func TestAnalyzerDocs(t *testing.T) {
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+	}
+}

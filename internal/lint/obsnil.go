@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsNil returns the analyzer protecting the disabled-metrics fast path:
+// internal/obs documents that a nil *Counter / *Gauge / *Histogram /
+// *Span / *Registry is a sink, so the engine's hot path can hold nil
+// instruments and pay exactly one branch per call. That contract holds
+// only if every exported pointer-receiver method of an exported obs type
+// nil-guards its receiver before dereferencing it.
+//
+// A method that never dereferences the receiver — a pure delegator like
+// Counter.Inc (which calls the guarded Add) or a constructor-shaped
+// method like Registry.Span (which only stores the possibly-nil pointer)
+// — is nil-safe by construction and therefore exempt. "Dereference" means
+// a field access, an auto-dereferencing value-receiver method call, or an
+// explicit *recv, textually before any `recv == nil` / `recv != nil`
+// check.
+//
+// The dynamic twin is internal/obs's nil-receiver test, which calls every
+// exported instrument method on a typed nil via reflection.
+func ObsNil() *Analyzer {
+	return &Analyzer{
+		Name: "obsnil",
+		Doc:  "exported obs pointer-receiver methods must nil-guard before dereferencing",
+		Run:  runObsNil,
+	}
+}
+
+func runObsNil(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path(), "internal/obs") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			recv := receiverIdent(fn)
+			if recv == nil {
+				continue // unnamed receiver: the body cannot dereference it
+			}
+			recvObj := pass.Info.Defs[recv]
+			if recvObj == nil {
+				continue
+			}
+			ptr, ok := recvObj.Type().(*types.Pointer)
+			if !ok {
+				continue // value receiver: nil cannot reach it
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if !ok || !named.Obj().Exported() {
+				continue
+			}
+			checkNilGuard(pass, fn, recvObj)
+		}
+	}
+}
+
+func receiverIdent(fn *ast.FuncDecl) *ast.Ident {
+	if len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	id := fn.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// checkNilGuard reports when the receiver is dereferenced textually
+// before its first nil comparison.
+func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recv types.Object) {
+	guardPos := token.Pos(-1)
+	derefPos := token.Pos(-1)
+	var derefKind string
+
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.Info.Uses[id] == recv
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ) &&
+				(isRecv(n.X) && isNil(pass, n.Y) || isRecv(n.Y) && isNil(pass, n.X)) {
+				if guardPos < 0 || n.Pos() < guardPos {
+					guardPos = n.Pos()
+				}
+			}
+		case *ast.StarExpr:
+			if isRecv(n.X) {
+				recordDeref(&derefPos, &derefKind, n.Pos(), "*"+recv.Name())
+			}
+		case *ast.SelectorExpr:
+			if !isRecv(n.X) {
+				return true
+			}
+			sel, ok := pass.Info.Selections[n]
+			if !ok {
+				return true
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				recordDeref(&derefPos, &derefKind, n.Pos(), "field "+n.Sel.Name)
+			case types.MethodVal:
+				// Calling a value-receiver method through the pointer
+				// auto-dereferences; a pointer-receiver method is expected
+				// to guard for itself (delegation is nil-safe).
+				if f, ok := sel.Obj().(*types.Func); ok {
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, ptrRecv := sig.Recv().Type().(*types.Pointer); !ptrRecv {
+							recordDeref(&derefPos, &derefKind, n.Pos(), "value-receiver call "+n.Sel.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if derefPos >= 0 && (guardPos < 0 || derefPos < guardPos) {
+		pass.Report(derefPos,
+			"%s.%s dereferences receiver %s (%s) before a nil guard — a nil instrument must be a no-op sink",
+			typeNameOf(recv), fn.Name.Name, recv.Name(), derefKind)
+	}
+}
+
+func recordDeref(pos *token.Pos, kind *string, at token.Pos, what string) {
+	if *pos < 0 || at < *pos {
+		*pos = at
+		*kind = what
+	}
+}
+
+func isNil(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.Info.Uses[id].(*types.Nil)
+	return isNilConst
+}
+
+func typeNameOf(recv types.Object) string {
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

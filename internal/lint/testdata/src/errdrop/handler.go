@@ -1,0 +1,41 @@
+// Package handler is the errdrop golden case: discarded error returns in
+// every statement form, against the exempt shapes (handled errors,
+// //fod:errok acknowledgments, the fmt print family on std streams, and
+// never-failing writers).
+package handler
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func bad() {
+	work()       // want "error return of work is discarded"
+	defer work() // want "deferred call work discards its error"
+	go work()    // want "go statement work discards its error"
+	_ = work()   // want "error return of work is blank-discarded"
+	_, _ = twoResults() // want "error return of twoResults is blank-discarded"
+}
+
+func good() error {
+	if err := work(); err != nil {
+		return err
+	}
+	work() //fod:errok — best-effort cleanup, failure is harmless here
+	n, err := twoResults()
+	if err != nil {
+		return err
+	}
+	_ = n
+	fmt.Println("ok")               // print family: exempt
+	fmt.Fprintln(os.Stderr, "warn") // std stream: exempt
+	var b strings.Builder
+	b.WriteString("x") // documented never to fail: exempt
+	_ = b.String()
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package hot is the hotpath golden case: bad() carries the annotation
+// and trips every rule; the same constructs in plain() are ignored, and
+// good() shows the allowed forms (slice make, local-variable append).
+package hot
+
+import (
+	"fmt"
+	"time"
+)
+
+var sink any
+
+// bad is annotated as hot and violates every hotpath rule.
+//
+//fod:hotpath
+func bad(xs []int, out *[]int) {
+	fmt.Println("boom")        // want "calls fmt.Println on the hot path"
+	_ = time.Now()             // want "calls time.Now on the hot path"
+	m := make(map[int]int)     // want "make\(map\) on the hot path"
+	c := make(chan int)        // want "make\(chan\) on the hot path"
+	l := map[int]bool{1: true} // want "map literal allocates on the hot path"
+	*out = append(*out, 1)     // want "append escapes"
+	b := []byte("convert")     // want "string/\[\]byte conversion allocates"
+	for i := 0; i < len(xs); i++ {
+		f := func() int { return xs[i] } // want "closure captures loop variable"
+		sink = f
+	}
+	sink = m
+	sink = c
+	sink = l
+	sink = b
+}
+
+// plain does the same things without the annotation: no findings.
+func plain(xs []int, out *[]int) {
+	fmt.Println("fine")
+	_ = time.Now()
+	m := make(map[int]int)
+	*out = append(*out, 1)
+	sink = m
+}
+
+// good is annotated and uses only the allowed forms.
+//
+//fod:hotpath
+func good(xs []int) int {
+	buf := make([]int, 0, len(xs)) // slice make is fine
+	for _, x := range xs {
+		if x > 0 {
+			buf = append(buf, x) // append into a plain local is fine
+		}
+	}
+	return len(buf)
+}

@@ -1,0 +1,33 @@
+// Package det is the maporder golden case: one raw map range (finding),
+// one //fod:sorted-annotated range (suppressed), and one slice range
+// (out of the rule's reach). The same file loaded under an import path
+// outside the deterministic packages yields no findings at all.
+package det
+
+import "sort"
+
+func unordered(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "unordered range over map"
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//fod:sorted — keys are sorted immediately after collection
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func overSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

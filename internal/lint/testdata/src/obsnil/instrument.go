@@ -1,0 +1,50 @@
+// Package instrument is the obsnil golden case: exported
+// pointer-receiver methods of an exported type must nil-guard before
+// dereferencing. Guarded methods, delegators to guarded pointer-receiver
+// methods, and unexported methods are all negative cases.
+package instrument
+
+// Gauge mimics an obs instrument: a nil *Gauge must be a no-op sink.
+type Gauge struct{ v int64 }
+
+// Bad reads a field before the guard.
+func (g *Gauge) Bad() int64 {
+	x := g.v // want "dereferences receiver g \(field v\) before a nil guard"
+	if g == nil {
+		return 0
+	}
+	return x
+}
+
+// Unguarded never checks the receiver at all.
+func (g *Gauge) Unguarded() int64 {
+	return g.v // want "dereferences receiver g \(field v\) before a nil guard"
+}
+
+// Explicit dereference trips the rule too.
+func (g *Gauge) Clone() Gauge {
+	return *g // want "dereferences receiver g \(\*g\) before a nil guard"
+}
+
+// Set guards first: the canonical pattern.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Load guards first as well.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Inc only delegates to guarded pointer-receiver methods: nil-safe by
+// induction, no guard of its own needed.
+func (g *Gauge) Inc() { g.Set(g.Load() + 1) }
+
+// internal is unexported: out of the contract's scope.
+func (g *Gauge) internal() int64 { return g.v }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 )
@@ -121,11 +122,19 @@ type errEnvelope struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode to a buffer first: a marshal failure discovered after
+	// WriteHeader would leave the client a truncated 200 body.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	w.Write(buf.Bytes()) //fod:errok — the client hung up; there is no one left to tell
 }
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {

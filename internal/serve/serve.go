@@ -414,7 +414,10 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 				continue // the cursor tuple itself was already served
 			}
 		}
-		sols = append(sols, sol)
+		// The iterator reuses its buffer across Next calls; copy.
+		cp := make([]int, len(sol))
+		copy(cp, sol)
+		sols = append(sols, cp)
 	}
 
 	resp := EnumerateResponse{

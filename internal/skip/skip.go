@@ -126,6 +126,8 @@ func bagsLess(a, b [MaxSetSize]int32) bool {
 }
 
 // lookup finds the stored SKIP(c, s), which must exist for s ∈ SC(c).
+//
+//fod:hotpath
 func (p *Pointers) lookup(c int32, s [MaxSetSize]int32) (int32, bool) {
 	es := p.table[c]
 	i := sort.Search(len(es), func(i int) bool { return !bagsLess(es[i].bags, s) })
@@ -163,22 +165,33 @@ func (p *Pointers) L() []graph.V { return p.sortedL }
 func (p *Pointers) Size() int { return p.size }
 
 // Query returns SKIP(b, S) in constant time, or None. S may be in any
-// order and must contain at most k bag indices.
+// order and must contain at most k bag indices. It is called per
+// candidate inside the answering loop, so the sorted copy of S lives in a
+// fixed-size stack array (insertion sort over ≤ MaxSetSize elements)
+// rather than an allocated slice.
+//
+//fod:hotpath
 func (p *Pointers) Query(b graph.V, S []int) graph.V {
 	if len(S) > p.k {
-		panic(fmt.Sprintf("skip: |S| = %d exceeds k = %d", len(S), p.k))
+		panic("skip: query set size exceeds the preprocessed k")
 	}
-	bags := make([]int32, len(S))
-	for i, x := range S {
+	var bags [MaxSetSize]int32
+	for n, x := range S {
+		i := n
+		for i > 0 && bags[i-1] > int32(x) {
+			bags[i] = bags[i-1]
+			i--
+		}
 		bags[i] = int32(x)
 	}
-	sort.Slice(bags, func(i, j int) bool { return bags[i] < bags[j] })
-	return p.resolve(b, bags)
+	return p.resolve(b, bags[:len(S)])
 }
 
 // resolve implements Claim 5.9: it answers SKIP(b, S) using only pointers
 // stored for vertices > b (during preprocessing) or any vertices (at query
 // time, when the table is complete).
+//
+//fod:hotpath
 func (p *Pointers) resolve(b graph.V, S []int32) graph.V {
 	// Case 1: b itself qualifies.
 	if b < len(p.inL) && p.inL[b] && !p.inKernels(b, S) {
@@ -216,7 +229,7 @@ func (p *Pointers) resolve(b graph.V, S []int32) graph.V {
 	for {
 		v, ok := p.lookup(c, sp)
 		if !ok {
-			panic(fmt.Sprintf("skip: missing pointer for (%d, %v)", c, sp))
+			panic("skip: missing pointer in the SC table")
 		}
 		if v < 0 {
 			return None
@@ -240,6 +253,7 @@ func (p *Pointers) resolve(b graph.V, S []int32) graph.V {
 	}
 }
 
+//fod:hotpath
 func (p *Pointers) inKernels(v graph.V, S []int32) bool {
 	for _, x := range S {
 		if p.cov.InKernel(int(x), v) {
@@ -250,6 +264,8 @@ func (p *Pointers) inKernels(v graph.V, S []int32) bool {
 }
 
 // setLen returns the number of used entries of a padded sorted set.
+//
+//fod:hotpath
 func setLen(s [MaxSetSize]int32) int {
 	n := 0
 	for _, x := range s {

@@ -186,7 +186,9 @@ func (s *Store) maxKey() int64 {
 // access performs the Access procedure of Algorithm 2: it follows the
 // search path of key. It returns (true, value, 0) if key ∈ Dom(f), and
 // (false, 0, succ) otherwise, where succ = min{x ∈ Dom : x > key} (or
-// nullKey).
+// nullKey). It is the constant-time successor search of Theorem 3.1.
+//
+//fod:hotpath
 func (s *Store) access(key int64) (bool, int64, int64) {
 	// The read path must not touch the shared dig1/dig2 scratch: lookups
 	// may run from many goroutines at once (bag membership and kernel
@@ -330,6 +332,8 @@ func (s *Store) composeDigits(digs []int) int64 {
 }
 
 // successorStrict returns min{x ∈ Dom : x > key}, or nullKey.
+//
+//fod:hotpath
 func (s *Store) successorStrict(key int64) int64 {
 	if key >= s.maxKey() {
 		return nullKey

@@ -255,6 +255,9 @@ func (ix *Index) FastCount() int {
 
 // Iterator is a pull-style cursor over the solution set in lexicographic
 // order with constant-delay Next and constant-time Seek (Theorem 2.3).
+// Next reuses an internal buffer to stay allocation-free: the returned
+// slice is valid only until the next Next or Seek call — copy it to
+// retain it, exactly as with Enumerate.
 type Iterator = core.Iterator
 
 // Iterator returns a cursor positioned at the first solution.

@@ -101,7 +101,8 @@ func TestFacadeIterator(t *testing.T) {
 		if !ix.Test(s) {
 			t.Fatalf("iterator produced non-solution %v", s)
 		}
-		last = s
+		// Next reuses its buffer; copy to retain across further calls.
+		last = append(last[:0], s...)
 		count++
 		if count >= 500 {
 			break

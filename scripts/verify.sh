@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Verification tiers (see README "Testing"):
 #   tier 1 — build + full test suite (the CI gate; ROADMAP "Tier-1 verify")
-#   tier 2 — vet + race-detector pass over the concurrency-sensitive suite,
-#            in -short mode so it stays a minutes-not-hours check; the
+#   tier 2 — static analysis + race-detector pass: go vet (plus an
+#            explicit -copylocks -loopclosure run), the repo's own fodlint
+#            analyzers (see README "Static analysis"), and the
+#            concurrency-sensitive suite under -race in -short mode; the
 #            serving layer (internal/serve) additionally runs its full
 #            suite under -race — it is the concurrency surface of the repo
 #   tier 3 — performance guards:
@@ -12,6 +14,10 @@
 #            (b) cold-resume guard: a cold /v1/enumerate page after cache
 #                eviction stays within a constant factor of a warm page —
 #                cursor resume really is O(1) (see README "Serving")
+#            (c) allocation guards (LINT_GUARD=1): Iterator.Next and
+#                Engine.Test must report 0 allocs/op in steady state on
+#                the E15 benchmark graph — the dynamic twin of the
+#                fodlint hotpath analyzer
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -29,8 +35,12 @@ if [[ "$tier" == "1" || "$tier" == "all" ]]; then
 fi
 
 if [[ "$tier" == "2" || "$tier" == "all" ]]; then
-    echo "== tier 2: go vet ./... && go test -race -short ./... =="
+    echo "== tier 2: go vet ./... (+ explicit -copylocks -loopclosure) =="
     go vet ./...
+    go vet -copylocks -loopclosure ./...
+    echo "== tier 2: fodlint (repo invariant analyzers) =="
+    go run ./cmd/fodlint ./...
+    echo "== tier 2: go test -race -short ./... =="
     go test -race -short ./...
     echo "== tier 2: serving layer full suite under -race =="
     go test -race -count=1 ./internal/serve/
@@ -41,6 +51,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     OBS_GUARD=1 go test -run TestMetricsOverheadGuard -count=1 -v ./internal/core/
     echo "== tier 3: cold-resume guard (SERVE_GUARD=1) =="
     SERVE_GUARD=1 go test -run TestColdResumeGuard -count=1 -v ./internal/serve/
+    echo "== tier 3: allocation guards (LINT_GUARD=1) =="
+    LINT_GUARD=1 go test -run ZeroAllocs -count=1 -v ./internal/core/
 fi
 
 echo "verify: OK (tier $tier)"
