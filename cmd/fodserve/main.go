@@ -50,6 +50,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 	parallel := flag.Int("parallel", 0, "index-build workers (0 = all CPUs)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+	snapshotDir := flag.String("snapshot-dir", "", "disk cache tier: load/store index snapshots in this directory (created if missing)")
 	flag.Parse()
 
 	graphs := make(map[string]*repro.Graph)
@@ -81,6 +82,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
 	reg := obs.New()
 	srv := serve.NewServer(serve.Config{
 		Graphs:         graphs,
@@ -92,6 +99,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallel,
 		Metrics:        reg,
+		SnapshotDir:    *snapshotDir,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -106,6 +106,7 @@ type Engine struct {
 	gbfs    *scratchPool   // global scratch (guarded paths)
 
 	clauses    []*clauseRT
+	liveIdx    []int    // indices into q.Clauses of guard-surviving clauses
 	ballCache  sync.Map // graph.V -> []graph.V, radius R(k−1)
 	ballRCache sync.Map // graph.V -> []graph.V, radius R
 	stats      Stats
@@ -260,7 +261,8 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	}
 
 	// Evaluate guards once (the ξ^i_τ sentences of Theorem 5.4) and drop
-	// failing clauses.
+	// failing clauses. The surviving indices are recorded so a snapshot can
+	// restore the exact clause set without re-evaluating the guards.
 	var live []Clause
 	for ci := range q.Clauses {
 		if q.Guards != nil && q.Guards[ci] != nil {
@@ -270,6 +272,7 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 				continue
 			}
 		}
+		e.liveIdx = append(e.liveIdx, ci)
 		live = append(live, q.Clauses[ci])
 	}
 
@@ -462,13 +465,32 @@ func (e *Engine) checkComponentType(c *compRT, vals []graph.V) bool {
 // buildKernelLists fills c.byKernel[bag] = starter ∩ K_R(bag). Bags are
 // independent and each task writes only its own list.
 func (e *Engine) buildKernelLists(c *compRT, pool *par.Pool) {
-	c.byKernel = make([][]graph.V, e.cov.NumBags())
-	pool.ForEach(e.cov.NumBags(), func(i int) {
+	// Two counting passes into one flat backing array: per-bag append
+	// allocations made this a hotspot on the snapshot-restore path.
+	nb := e.cov.NumBags()
+	c.byKernel = make([][]graph.V, nb)
+	cnt := make([]int32, nb+1)
+	pool.ForEach(nb, func(i int) {
+		m := int32(0)
 		for _, v := range e.cov.Kernel(i) {
 			if c.inStart[v] {
-				c.byKernel[i] = append(c.byKernel[i], v)
+				m++
 			}
 		}
+		cnt[i+1] = m
+	})
+	for i := 0; i < nb; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	flat := make([]graph.V, cnt[nb])
+	pool.ForEach(nb, func(i int) {
+		row := flat[cnt[i]:cnt[i]:cnt[i+1]]
+		for _, v := range e.cov.Kernel(i) {
+			if c.inStart[v] {
+				row = append(row, v)
+			}
+		}
+		c.byKernel[i] = row
 	})
 }
 

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/fo"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/skip"
+)
+
+// EngineParts is the serialized form of a preprocessed engine: everything
+// Preprocess computes by search (distance recursion, cover and kernels,
+// guard outcomes, starter lists, SC-tables), and nothing it can rederive
+// cheaply. The query itself is NOT part of it — snapshots carry the query
+// source and recompile it, so RestoreEngine takes the query as input and
+// revalidates the parts against it.
+type EngineParts struct {
+	// LiveIdx are the indices into the query's clause list that survived
+	// their guards at build time, in increasing order. Restoring replays
+	// this decision instead of re-running the guard sentences.
+	LiveIdx []int
+	Cover   cover.Parts
+	Dist    dist.Parts
+	// Clauses is indexed parallel to LiveIdx; each entry holds one
+	// CompParts per component of that clause.
+	Clauses [][]CompParts
+}
+
+// CompParts is the per-component payload: the starter list (Step 12 of
+// the paper) and, for arity ≥ 2, the Lemma 5.8 skip-pointer table built
+// over it.
+type CompParts struct {
+	Starter []int32     // sorted vertices that can open the component
+	Skip    *skip.Parts // nil for unary queries
+}
+
+// SnapshotParts extracts the serialized form of the engine. The cover's
+// lazy Storing-Theorem membership structures are deliberately NOT
+// included: the answering hot path reads the memberOf/kernelOf inverted
+// lists (rebuilt from the bag CSRs at restore), the stores are only the
+// paper-faithful alternate access path, and their registers are 2–3× the
+// size of everything else combined. The restored cover rebuilds them
+// lazily under the same sync.Once a fresh build uses, so behavior is
+// identical either way.
+func (e *Engine) SnapshotParts() EngineParts {
+	p := EngineParts{
+		LiveIdx: append([]int(nil), e.liveIdx...),
+		Cover:   e.cov.Parts(false),
+		Dist:    e.dix.Parts(),
+	}
+	for _, rt := range e.clauses {
+		comps := make([]CompParts, len(rt.comps))
+		for i, c := range rt.comps {
+			cp := CompParts{Starter: make([]int32, len(c.starter))}
+			for j, v := range c.starter {
+				cp.Starter[j] = int32(v)
+			}
+			if c.skip != nil {
+				sp := c.skip.Parts()
+				cp.Skip = &sp
+			}
+			comps[i] = cp
+		}
+		p.Clauses = append(p.Clauses, comps)
+	}
+	return p
+}
+
+// RestoreEngine rebuilds a ready-to-answer engine for (g, q) from its
+// serialized parts. It reruns only the cheap deterministic derivations
+// (induced subgraphs, inverted lists, kernel intersections) and skips
+// every search phase of Preprocess — distance BFS, cover construction,
+// guard evaluation, starter evaluation, and the SC sweep — so restoring
+// is linear in the snapshot with small constants. All cross-structure
+// invariants the answering phase relies on are revalidated against g and
+// q, so a snapshot from a different graph or query errors out instead of
+// producing wrong answers or panics.
+func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.K > skip.MaxSetSize+1 {
+		return nil, fmt.Errorf("core: arity %d exceeds supported maximum %d", q.K, skip.MaxSetSize+1)
+	}
+	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius, obsReg: opt.Obs}
+	workers := par.Resolve(opt.Parallelism)
+	pool := par.NewPool(workers).WithMetrics(par.NewMetrics(opt.Obs, "engine.pool"))
+	e.stats.Workers = workers
+	e.gbfs = newScratchPool(g)
+
+	distR := e.r
+	for ci := range q.Clauses {
+		for li := range q.Clauses[ci].Locals {
+			if d := fo.MaxDistConstant(q.Clauses[ci].Locals[li].Psi); d > distR {
+				distR = d
+			}
+		}
+	}
+	dix, err := dist.FromParts(g, p.Dist)
+	if err != nil {
+		return nil, err
+	}
+	if dix.R != distR {
+		return nil, fmt.Errorf("core: snapshot distance index has radius %d, query needs %d", dix.R, distR)
+	}
+	e.dix = dix
+	e.evPool.New = func() any {
+		ev := fo.NewEvaluator(g)
+		ev.UseDistTester(e.dix)
+		return ev
+	}
+
+	coverR := 2 * e.r
+	if !q.Guarded {
+		if alt := e.r*e.k + e.rho; alt > coverR {
+			coverR = alt
+		}
+	}
+	cov, err := cover.FromParts(g, p.Cover)
+	if err != nil {
+		return nil, err
+	}
+	if cov.R != coverR {
+		return nil, fmt.Errorf("core: snapshot cover has radius %d, query needs %d", cov.R, coverR)
+	}
+	if cov.KernelP() != e.r {
+		return nil, fmt.Errorf("core: snapshot kernels have radius %d, query needs %d", cov.KernelP(), e.r)
+	}
+	e.cov = cov
+	e.stats.CoverRadius = coverR
+	e.stats.CoverBags = cov.NumBags()
+	e.stats.CoverDegree = cov.Degree()
+
+	if !q.Guarded {
+		e.bagSubs = par.Map(pool, cov.NumBags(), func(i int) *graph.Sub {
+			return graph.Induce(g, cov.Bag(i))
+		})
+		e.bagBFS = make([]*scratchPool, len(e.bagSubs))
+		for i := range e.bagBFS {
+			e.bagBFS[i] = newScratchPool(e.bagSubs[i].G)
+		}
+	}
+
+	if len(p.LiveIdx) != len(p.Clauses) {
+		return nil, fmt.Errorf("core: snapshot has %d live indices for %d clause payloads", len(p.LiveIdx), len(p.Clauses))
+	}
+	prev := -1
+	for i, ci := range p.LiveIdx {
+		if ci <= prev || ci >= len(q.Clauses) {
+			return nil, fmt.Errorf("core: snapshot live-clause indices not increasing within the query's %d clauses", len(q.Clauses))
+		}
+		prev = ci
+		rt, err := e.restoreClause(&q.Clauses[ci], p.Clauses[i], pool)
+		if err != nil {
+			return nil, fmt.Errorf("core: clause %d: %w", ci, err)
+		}
+		e.clauses = append(e.clauses, rt)
+		e.liveIdx = append(e.liveIdx, ci)
+	}
+	e.exportInstruments(opt.Obs)
+	return e, nil
+}
+
+// restoreClause mirrors buildClause with the starter evaluation and SC
+// sweep replaced by snapshot data.
+func (e *Engine) restoreClause(cl *Clause, parts []CompParts, pool *par.Pool) (*clauseRT, error) {
+	if len(parts) != len(cl.Locals) {
+		return nil, fmt.Errorf("%d component payloads for %d components", len(parts), len(cl.Locals))
+	}
+	rt := &clauseRT{
+		clause:  cl,
+		compOf:  make([]int, e.k),
+		firstOf: make([]int, e.k),
+	}
+	for li := range cl.Locals {
+		lf := &cl.Locals[li]
+		cp := &parts[li]
+		c := &compRT{
+			positions: lf.Positions,
+			typ:       cl.Type,
+			psi:       lf.Psi,
+			last:      lf.Positions[len(lf.Positions)-1],
+		}
+		for _, p := range lf.Positions {
+			c.vars = append(c.vars, PosVar(p))
+			rt.compOf[p] = li
+			rt.firstOf[p] = lf.Positions[0]
+		}
+		c.inStart = make([]bool, e.g.N())
+		c.starter = make([]graph.V, len(cp.Starter))
+		prev := int32(-1)
+		for i, v := range cp.Starter {
+			if v <= prev || int(v) >= e.g.N() {
+				return nil, fmt.Errorf("component %d starter list not a sorted vertex list", li)
+			}
+			prev = v
+			c.starter[i] = int(v)
+			c.inStart[v] = true
+		}
+		if len(c.positions) == 1 {
+			c.starterReady = true
+		}
+		e.stats.StarterSizes = append(e.stats.StarterSizes, len(c.starter))
+		if e.k >= 2 {
+			if cp.Skip == nil {
+				return nil, fmt.Errorf("component %d misses its skip table (arity %d)", li, e.k)
+			}
+			if cp.Skip.K != e.k-1 {
+				return nil, fmt.Errorf("component %d skip table has set size %d, arity needs %d", li, cp.Skip.K, e.k-1)
+			}
+			sk, err := skip.FromParts(e.cov, c.starter, *cp.Skip)
+			if err != nil {
+				return nil, err
+			}
+			c.skip = sk
+			e.stats.SkipPointers += sk.Size()
+		}
+		e.buildKernelLists(c, pool)
+		rt.comps = append(rt.comps, c)
+	}
+	return rt, nil
+}

@@ -347,9 +347,14 @@ func (c *Cover) buildMembership() {
 
 // memberStore lazily builds the Storing-Theorem membership structure. The
 // sync.Once makes the lazy initialization safe for concurrent readers
-// (Contains/NextInBag may be called from parallel query threads).
+// (Contains/NextInBag may be called from parallel query threads). A store
+// installed by FromParts before first use (snapshot restore happens
+// single-threaded, before the cover is shared) short-circuits the build.
 func (c *Cover) memberStore() *store.Store {
 	c.membersOnce.Do(func() {
+		if c.members != nil {
+			return
+		}
 		u := c.g.N()
 		if len(c.bags) > u {
 			u = len(c.bags)
@@ -546,7 +551,18 @@ func (c *Cover) KernelContains(i int, v graph.V) bool {
 	if c.kernelOf == nil {
 		panic("cover: ComputeKernels has not been called")
 	}
+	_, ok := c.kernelMemberStore().Get([]int{i, v})
+	return ok
+}
+
+// kernelMemberStore lazily builds the Storing-Theorem kernel-membership
+// structure; like memberStore it defers to a store installed by a
+// snapshot restore.
+func (c *Cover) kernelMemberStore() *store.Store {
 	c.kernelStoreOnce.Do(func() {
+		if c.kernelStore != nil {
+			return
+		}
 		u := c.g.N()
 		if len(c.bags) > u {
 			u = len(c.bags)
@@ -562,8 +578,20 @@ func (c *Cover) KernelContains(i int, v graph.V) bool {
 		}
 		c.kernelStore = ks
 	})
-	_, ok := c.kernelStore.Get([]int{i, v})
-	return ok
+	return c.kernelStore
+}
+
+// MemberStore returns the Storing-Theorem bag-membership structure,
+// building it if needed. The snapshot writer uses it to persist the trie.
+func (c *Cover) MemberStore() *store.Store { return c.memberStore() }
+
+// KernelStore returns the Storing-Theorem kernel-membership structure,
+// building it if needed; ComputeKernels must have run.
+func (c *Cover) KernelStore() *store.Store {
+	if c.kernelOf == nil {
+		panic("cover: ComputeKernels has not been called")
+	}
+	return c.kernelMemberStore()
 }
 
 // KernelsOf returns the sorted indices of bags whose kernel contains v.

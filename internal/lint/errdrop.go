@@ -7,9 +7,11 @@ import (
 )
 
 // ErrDrop returns the analyzer that forbids silently discarded error
-// returns in the serving layer (internal/serve) and the CLIs (cmd/*):
-// an HTTP handler that drops an encoder or Write error can emit a
-// truncated or malformed body with a 200 status, and a CLI that drops a
+// returns in the serving layer (internal/serve), the snapshot codec
+// (internal/snap) and the CLIs (cmd/*): an HTTP handler that drops an
+// encoder or Write error can emit a truncated or malformed body with a
+// 200 status, a snapshot writer that drops an io error persists a
+// truncated file that the next start will reject, and a CLI that drops a
 // flush/close error reports success for an artifact that never hit disk.
 //
 // Flagged forms (unless the statement carries `//fod:errok` with a
@@ -26,13 +28,15 @@ import (
 func ErrDrop() *Analyzer {
 	return &Analyzer{
 		Name: "errdrop",
-		Doc:  "no discarded error returns in internal/serve and cmd/*",
+		Doc:  "no discarded error returns in internal/serve, internal/snap and cmd/*",
 		Run:  runErrDrop,
 	}
 }
 
 func inErrDropScope(pkgPath string) bool {
-	return strings.Contains(pkgPath, "internal/serve") || strings.Contains(pkgPath, "/cmd/")
+	return strings.Contains(pkgPath, "internal/serve") ||
+		strings.Contains(pkgPath, "internal/snap") ||
+		strings.Contains(pkgPath, "/cmd/")
 }
 
 func runErrDrop(pass *Pass) {

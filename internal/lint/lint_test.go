@@ -130,6 +130,19 @@ func TestErrDropCmdScope(t *testing.T) {
 	}
 }
 
+// TestErrDropSnapScope confirms the snapshot codec is in errdrop scope —
+// a dropped io error there persists a truncated snapshot.
+func TestErrDropSnapScope(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "errdrop"), "example.com/internal/snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{ErrDrop()})
+	if len(diags) == 0 {
+		t.Fatal("internal/snap package should be in errdrop scope")
+	}
+}
+
 // TestAnalyzerDocs keeps every analyzer self-describing for -list.
 func TestAnalyzerDocs(t *testing.T) {
 	for _, a := range All() {

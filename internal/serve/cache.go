@@ -35,14 +35,23 @@ type indexCache struct {
 	baseCtx context.Context // parent of every build; canceled on shutdown
 	build   func(ctx context.Context, key cacheKey) (*repro.Index, error)
 
+	// Optional second cache tier (disk snapshots). loadSnap is consulted
+	// on every memory miss before building; storeSnap persists a freshly
+	// built index. Both run inside the singleflight flight, so concurrent
+	// misses share one disk probe and one build across BOTH tiers.
+	loadSnap  func(key cacheKey) (*repro.Index, bool)
+	storeSnap func(key cacheKey, ix *repro.Index) bool
+
 	// Owned instruments; registered in the obs registry when present so
 	// /v1/stats and /debug/metrics read the same numbers.
-	hits      obs.Counter
-	misses    obs.Counter
-	evictions obs.Counter
-	builds    obs.Counter
-	shared    obs.Counter // waiters that joined an existing flight
-	size      obs.Gauge
+	hits       obs.Counter
+	misses     obs.Counter
+	evictions  obs.Counter
+	builds     obs.Counter
+	shared     obs.Counter // waiters that joined an existing flight
+	snapHits   obs.Counter // memory misses served from the disk tier
+	snapWrites obs.Counter // snapshots written back after a build
+	size       obs.Gauge
 }
 
 type cacheEntry struct {
@@ -77,6 +86,8 @@ func newIndexCache(baseCtx context.Context, capacity int, reg *obs.Registry,
 		reg.RegisterCounter("serve.cache.evictions", &c.evictions)
 		reg.RegisterCounter("serve.cache.builds", &c.builds)
 		reg.RegisterCounter("serve.cache.flight_shared", &c.shared)
+		reg.RegisterCounter("serve.cache.snapshot_hits", &c.snapHits)
+		reg.RegisterCounter("serve.cache.snapshot_writes", &c.snapWrites)
 		reg.RegisterGauge("serve.cache.size", &c.size)
 	}
 	return c
@@ -104,7 +115,6 @@ func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hi
 		f = &flight{waiters: 1, cancel: cancel, done: make(chan struct{})}
 		c.flights[key] = f
 		c.misses.Inc()
-		c.builds.Inc()
 		go c.run(bctx, key, f)
 	}
 	c.mu.Unlock()
@@ -128,7 +138,22 @@ func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hi
 }
 
 func (c *indexCache) run(ctx context.Context, key cacheKey, f *flight) {
-	ix, err := c.build(ctx, key)
+	var ix *repro.Index
+	var err error
+	fromDisk := false
+	if c.loadSnap != nil {
+		if loaded, ok := c.loadSnap(key); ok {
+			ix, fromDisk = loaded, true
+			c.snapHits.Inc()
+		}
+	}
+	if !fromDisk {
+		c.builds.Inc()
+		ix, err = c.build(ctx, key)
+		if err == nil && c.storeSnap != nil && c.storeSnap(key, ix) {
+			c.snapWrites.Inc()
+		}
+	}
 	f.cancel() // release the context's resources
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -177,6 +202,11 @@ type CacheStats struct {
 	Evictions    int64 `json:"evictions"`
 	Builds       int64 `json:"builds"`
 	FlightShared int64 `json:"flight_shared"`
+	// SnapshotHits counts memory misses answered by loading a disk
+	// snapshot instead of building; SnapshotWrites counts write-backs of
+	// freshly built indexes. Both stay 0 without Config.SnapshotDir.
+	SnapshotHits   int64 `json:"snapshot_hits"`
+	SnapshotWrites int64 `json:"snapshot_writes"`
 }
 
 func (c *indexCache) Stats() CacheStats {
@@ -184,12 +214,14 @@ func (c *indexCache) Stats() CacheStats {
 	size := c.lru.Len()
 	c.mu.Unlock()
 	return CacheStats{
-		Capacity:     c.cap,
-		Size:         size,
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Evictions:    c.evictions.Load(),
-		Builds:       c.builds.Load(),
-		FlightShared: c.shared.Load(),
+		Capacity:       c.cap,
+		Size:           size,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Builds:         c.builds.Load(),
+		FlightShared:   c.shared.Load(),
+		SnapshotHits:   c.snapHits.Load(),
+		SnapshotWrites: c.snapWrites.Load(),
 	}
 }

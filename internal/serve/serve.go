@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +44,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/snap"
 )
 
 // Config tunes a Server. The zero value of every field selects a sensible
@@ -67,6 +70,15 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// Parallelism forwards to IndexOptions.Parallelism for cache builds.
 	Parallelism int
+	// SnapshotDir, when non-empty, enables the disk cache tier: on a
+	// memory miss the server first tries to load the index from a
+	// snapshot file in this directory (written by a previous run or by
+	// fodsnap build), and after a successful build it writes the snapshot
+	// back. Files are keyed by the deterministic query id and validated
+	// against the served graph's fingerprint before use, so stale or
+	// foreign snapshots are ignored, never served. The directory must
+	// exist and be writable.
+	SnapshotDir string
 	// Metrics, when non-nil, instruments the server (per-endpoint latency
 	// histograms, cache hit/miss counters, in-flight gauge) and every
 	// index it builds, and is served at /debug/metrics.
@@ -112,6 +124,10 @@ type Server struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// graphFP caches each served graph's snapshot fingerprint (hex), used
+	// to validate disk-tier files; nil unless SnapshotDir is set.
+	graphFP map[string]string
+
 	inflightG obs.Gauge
 }
 
@@ -138,10 +154,72 @@ func NewServer(cfg Config) *Server {
 		cancel:  cancel,
 	}
 	s.cache = newIndexCache(ctx, cfg.CacheSize, cfg.Metrics, s.buildIndex)
+	if cfg.SnapshotDir != "" {
+		s.graphFP = make(map[string]string, len(cfg.Graphs))
+		for name, g := range cfg.Graphs {
+			s.graphFP[name] = snap.FingerprintString(snap.Fingerprint(g))
+		}
+		s.cache.loadSnap = s.loadSnapshot
+		s.cache.storeSnap = s.writeSnapshot
+	}
 	if s.reg != nil {
 		s.reg.RegisterGauge("serve.http.in_flight", &s.inflightG)
 	}
 	return s
+}
+
+// snapshotPath is the disk-tier file of one (graph, query) pair, keyed by
+// the same deterministic id the API exposes.
+func (s *Server) snapshotPath(key cacheKey) string {
+	return filepath.Join(s.cfg.SnapshotDir, queryID(key.graph, key.canonical)+".fodsnap")
+}
+
+// loadSnapshot is the disk tier of the index cache. It validates cheaply
+// first — metadata canonical text and graph fingerprint against the
+// served graph — and only then pays for the full restore. Any failure
+// (missing file, corruption, foreign graph) falls back to building; the
+// error classes are counted separately so operators can tell a cold
+// directory from a corrupted one.
+func (s *Server) loadSnapshot(key cacheKey) (*repro.Index, bool) {
+	data, err := os.ReadFile(s.snapshotPath(key))
+	if err != nil {
+		return nil, false // cold tier: no snapshot yet
+	}
+	start := time.Now()
+	f, err := snap.Parse(data)
+	if err != nil {
+		s.reg.Counter("serve.snapshot.corrupt").Inc()
+		return nil, false
+	}
+	meta, err := snap.ReadMeta(f)
+	if err != nil {
+		s.reg.Counter("serve.snapshot.corrupt").Inc()
+		return nil, false
+	}
+	if meta.Canonical != key.canonical || meta.GraphFingerprint != s.graphFP[key.graph] {
+		s.reg.Counter("serve.snapshot.mismatch").Inc()
+		return nil, false
+	}
+	ix, err := repro.ReadIndexSnapshotOpt(data, repro.IndexOptions{Parallelism: s.cfg.Parallelism, Metrics: s.reg})
+	if err != nil {
+		s.reg.Counter("serve.snapshot.corrupt").Inc()
+		return nil, false
+	}
+	s.reg.Histogram("serve.snapshot.load_ns").Observe(time.Since(start))
+	return ix, true
+}
+
+// writeSnapshot persists a freshly built index for the next cold start.
+// Failures are counted and swallowed — the build already succeeded, so
+// the request must not fail because the disk tier is unhappy.
+func (s *Server) writeSnapshot(key cacheKey, ix *repro.Index) bool {
+	start := time.Now()
+	if err := repro.SaveIndexSnapshot(ix, s.snapshotPath(key)); err != nil {
+		s.reg.Counter("serve.snapshot.write_errors").Inc()
+		return false
+	}
+	s.reg.Histogram("serve.snapshot.write_ns").Observe(time.Since(start))
+	return true
 }
 
 // buildIndex is the cache's build function: it resolves the key back to

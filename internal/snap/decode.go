@@ -1,0 +1,398 @@
+package snap
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/skip"
+	"repro/internal/store"
+)
+
+// maxDistDepth bounds the decoder recursion over the dist tree; it
+// matches the cap dist.FromParts enforces.
+const maxDistDepth = 64
+
+// Snapshot is a fully decoded snapshot: the graph, the metadata, and the
+// engine parts ready for core.RestoreEngine once the query has been
+// recompiled from Meta.Query/Meta.Vars.
+type Snapshot struct {
+	Graph *graph.Graph
+	Meta  Meta
+	Parts core.EngineParts
+}
+
+// ReadMeta parses only the metadata record of a snapshot file — enough
+// for inspection and cache-key checks without decoding the index.
+func ReadMeta(f *File) (Meta, error) {
+	var m Meta
+	b, err := f.BytesSection("meta")
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("%w: metadata record: %v", ErrCorrupt, err)
+	}
+	return m, nil
+}
+
+// Read decodes a snapshot from its raw bytes. All checksums are verified,
+// every structural invariant the answering phase relies on is validated,
+// and no allocation is sized from unverified input — corrupted or hostile
+// bytes yield a typed error, never a panic or OOM.
+func Read(data []byte) (*Snapshot, error) {
+	f, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := ReadMeta(f)
+	if err != nil {
+		return nil, err
+	}
+	g, err := readGraph(f)
+	if err != nil {
+		return nil, err
+	}
+	// The fingerprint is defined over the section payload checksums, which
+	// Parse has already computed and verified — no re-encoding needed.
+	gcrc, _ := f.SectionCRC("graph")
+	ccrc, _ := f.SectionCRC("graph.colors")
+	if fp := FingerprintString(fingerprintOf(gcrc, ccrc)); fp != meta.GraphFingerprint {
+		return nil, fmt.Errorf("%w: graph fingerprint %s does not match metadata %s", ErrCorrupt, fp, meta.GraphFingerprint)
+	}
+	s := &Snapshot{Graph: g, Meta: meta}
+
+	cp, err := readCover(f)
+	if err != nil {
+		return nil, err
+	}
+	s.Parts.Cover = cp
+
+	dp, err := readDist(f)
+	if err != nil {
+		return nil, err
+	}
+	s.Parts.Dist = dp
+
+	if err := readClauses(f, &s.Parts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadFile is Read over the contents of path.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func readGraph(f *File) (*graph.Graph, error) {
+	s, err := f.I32Section("graph")
+	if err != nil {
+		return nil, err
+	}
+	r := &i32r{name: "graph", s: s}
+	var p graph.Parts
+	if p.N, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.NColors, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.Off, err = r.getSlice(); err != nil {
+		return nil, err
+	}
+	if p.Adj, err = r.getSlice(); err != nil {
+		return nil, err
+	}
+	if p.ColorOff, err = r.getSlice(); err != nil {
+		return nil, err
+	}
+	nwords, err := r.getInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if p.ColorWords, err = f.U64Section("graph.colors"); err != nil {
+		return nil, err
+	}
+	if len(p.ColorWords) != nwords {
+		return nil, fmt.Errorf("%w: color section has %d words, graph section claims %d", ErrCorrupt, len(p.ColorWords), nwords)
+	}
+	g, err := graph.FromParts(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return g, nil
+}
+
+// decodeCover is the inverse of encodeCover; store payloads are resolved
+// from their own sections by the caller using the returned flags.
+func decodeCover(r *i32r) (p cover.Parts, hasMember, hasKernel bool, err error) {
+	if p.R, err = r.getInt(); err != nil {
+		return
+	}
+	if p.KernelP, err = r.getInt(); err != nil {
+		return
+	}
+	if p.BagOff, err = r.getSlice(); err != nil {
+		return
+	}
+	if p.BagData, err = r.getSlice(); err != nil {
+		return
+	}
+	if p.Centers, err = r.getSlice(); err != nil {
+		return
+	}
+	if p.Assign, err = r.getSlice(); err != nil {
+		return
+	}
+	if p.KernelP >= 0 {
+		if p.KernOff, err = r.getSlice(); err != nil {
+			return
+		}
+		if p.KernData, err = r.getSlice(); err != nil {
+			return
+		}
+	}
+	var fm, fk int32
+	if fm, err = r.get(); err != nil {
+		return
+	}
+	if fk, err = r.get(); err != nil {
+		return
+	}
+	return p, fm != 0, fk != 0, nil
+}
+
+func readCover(f *File) (cover.Parts, error) {
+	s, err := f.I32Section("cover")
+	if err != nil {
+		return cover.Parts{}, err
+	}
+	r := &i32r{name: "cover", s: s}
+	p, hasMember, hasKernel, err := decodeCover(r)
+	if err != nil {
+		return cover.Parts{}, err
+	}
+	if err := r.finish(); err != nil {
+		return cover.Parts{}, err
+	}
+	if hasMember {
+		if p.MemberStore, err = readStore(f, "cover.member"); err != nil {
+			return cover.Parts{}, err
+		}
+	}
+	if hasKernel {
+		if p.KernelStore, err = readStore(f, "cover.kernel"); err != nil {
+			return cover.Parts{}, err
+		}
+	}
+	return p, nil
+}
+
+func readStore(f *File, prefix string) (*store.Parts, error) {
+	s, err := f.I32Section(prefix + ".meta")
+	if err != nil {
+		return nil, err
+	}
+	r := &i32r{name: prefix + ".meta", s: s}
+	var p store.Parts
+	if p.N, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.K, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.D, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.H, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	if p.Size, err = r.getInt(); err != nil {
+		return nil, err
+	}
+	nreg, err := r.getInt()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if p.Delta, err = f.I8Section(prefix + ".delta"); err != nil {
+		return nil, err
+	}
+	if p.R, err = f.I64Section(prefix + ".r"); err != nil {
+		return nil, err
+	}
+	if len(p.Delta) != nreg || len(p.R) != nreg {
+		return nil, fmt.Errorf("%w: store %q columns have %d/%d registers, meta claims %d",
+			ErrCorrupt, prefix, len(p.Delta), len(p.R), nreg)
+	}
+	return &p, nil
+}
+
+func readDist(f *File) (dist.Parts, error) {
+	s, err := f.I32Section("dist")
+	if err != nil {
+		return dist.Parts{}, err
+	}
+	d8col, err := f.I8Section("dist.d8")
+	if err != nil {
+		return dist.Parts{}, err
+	}
+	r := &i32r{name: "dist", s: s}
+	d8 := &i8r{name: "dist.d8", s: d8col}
+	var p dist.Parts
+	for _, dst := range []*int{&p.R, &p.Bags, &p.MaxDepth, &p.SmallLeaves, &p.Fallbacks, &p.TableCells, &p.Work} {
+		if *dst, err = r.getInt(); err != nil {
+			return dist.Parts{}, err
+		}
+	}
+	if p.Root, err = decodeDistNode(r, d8, 0); err != nil {
+		return dist.Parts{}, err
+	}
+	if err := r.finish(); err != nil {
+		return dist.Parts{}, err
+	}
+	if err := d8.finish(); err != nil {
+		return dist.Parts{}, err
+	}
+	return p, nil
+}
+
+func decodeDistNode(r *i32r, d8 *i8r, depth int) (*dist.NodeParts, error) {
+	if depth > maxDistDepth {
+		return nil, fmt.Errorf("%w: dist recursion deeper than %d", ErrCorrupt, maxDistDepth)
+	}
+	kind, err := r.getInt()
+	if err != nil {
+		return nil, err
+	}
+	np := &dist.NodeParts{Kind: kind}
+	switch kind {
+	case dist.NodeEdgeless, dist.NodeFallback:
+	case dist.NodeSmall:
+		if np.SmallOff, err = r.getSlice(); err != nil {
+			return nil, err
+		}
+		if np.SmallBall, err = r.getSlice(); err != nil {
+			return nil, err
+		}
+		if np.SmallD, err = d8.take(len(np.SmallBall)); err != nil {
+			return nil, err
+		}
+	case dist.NodeRecursive:
+		cp, hasMember, hasKernel, err := decodeCover(r)
+		if err != nil {
+			return nil, err
+		}
+		if hasMember || hasKernel {
+			return nil, fmt.Errorf("%w: dist-level cover carries store payloads", ErrCorrupt)
+		}
+		np.Cover = cp
+		nbags, err := r.getInt()
+		if err != nil {
+			return nil, err
+		}
+		if nbags < 0 || nbags > len(r.s)-r.pos {
+			return nil, fmt.Errorf("%w: dist node claims %d bags with %d words left", ErrCorrupt, nbags, len(r.s)-r.pos)
+		}
+		np.Bags = make([]dist.BagParts, nbags)
+		for i := range np.Bags {
+			bp := &np.Bags[i]
+			var sx int32
+			if sx, err = r.get(); err != nil {
+				return nil, err
+			}
+			bp.SX = sx
+			if bp.DistS, err = r.getSlice(); err != nil {
+				return nil, err
+			}
+			if bp.Inner, err = decodeDistNode(r, d8, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown dist node kind %d", ErrCorrupt, kind)
+	}
+	return np, nil
+}
+
+func readClauses(f *File, p *core.EngineParts) error {
+	s, err := f.I32Section("clauses")
+	if err != nil {
+		return err
+	}
+	r := &i32r{name: "clauses", s: s}
+	nlive, err := r.getInt()
+	if err != nil {
+		return err
+	}
+	if nlive < 0 || nlive > len(r.s)-r.pos {
+		return fmt.Errorf("%w: clauses section claims %d live clauses", ErrCorrupt, nlive)
+	}
+	p.LiveIdx = make([]int, nlive)
+	for i := range p.LiveIdx {
+		if p.LiveIdx[i], err = r.getInt(); err != nil {
+			return err
+		}
+	}
+	nclauses, err := r.getInt()
+	if err != nil {
+		return err
+	}
+	if nclauses != nlive {
+		return fmt.Errorf("%w: %d clause payloads for %d live clauses", ErrCorrupt, nclauses, nlive)
+	}
+	p.Clauses = make([][]core.CompParts, nclauses)
+	for ci := range p.Clauses {
+		ncomps, err := r.getInt()
+		if err != nil {
+			return err
+		}
+		if ncomps < 0 || ncomps > len(r.s)-r.pos {
+			return fmt.Errorf("%w: clause %d claims %d components", ErrCorrupt, ci, ncomps)
+		}
+		comps := make([]core.CompParts, ncomps)
+		for i := range comps {
+			cp := &comps[i]
+			if cp.Starter, err = r.getSlice(); err != nil {
+				return err
+			}
+			hasSkip, err := r.get()
+			if err != nil {
+				return err
+			}
+			if hasSkip != 0 {
+				sp := &skip.Parts{}
+				if sp.K, err = r.getInt(); err != nil {
+					return err
+				}
+				if sp.TableOff, err = r.getSlice(); err != nil {
+					return err
+				}
+				if sp.TableRow, err = r.getSlice(); err != nil {
+					return err
+				}
+				cp.Skip = sp
+			}
+		}
+		p.Clauses[ci] = comps
+	}
+	return r.finish()
+}

@@ -1,0 +1,224 @@
+package snap
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Meta is the JSON metadata record of a snapshot ("meta" section). It
+// carries everything needed to recompile the query and to check that a
+// snapshot belongs to a given graph, plus display facts for inspection.
+type Meta struct {
+	// Query is the canonical printed form of the formula; Vars fixes the
+	// output-column order. Loading re-parses and re-compiles them — the
+	// compiler is deterministic, so the engine parts line up exactly.
+	Query string   `json:"query"`
+	Vars  []string `json:"vars"`
+	// Canonical is the cache key of the serving layer: printed formula
+	// plus variable order.
+	Canonical string `json:"canonical"`
+
+	K           int  `json:"k"`
+	R           int  `json:"r"`
+	LocalRadius int  `json:"rho"`
+	Guarded     bool `json:"guarded"`
+
+	GraphN      int `json:"graph_n"`
+	GraphM      int `json:"graph_m"`
+	GraphColors int `json:"graph_colors"`
+	// GraphFingerprint is Fingerprint(g) in fixed-width hex; loaders use
+	// it to refuse snapshots built from a different graph.
+	GraphFingerprint string `json:"graph_fingerprint"`
+}
+
+// Fingerprint returns a CRC-64/ECMA fingerprint of the graph structure
+// (vertex count, colors, adjacency, color sets). Two graphs with equal
+// fingerprints are byte-identical under the snapshot encoding.
+//
+// The fingerprint is defined over the payload checksums of the "graph"
+// and "graph.colors" sections rather than the raw encoding, so a loader
+// can verify it from the checksums Parse has already computed without
+// re-encoding the graph (see fingerprintOf).
+func Fingerprint(g *graph.Graph) uint64 {
+	gp := g.Parts()
+	w := &i32w{}
+	encodeGraph(w, gp)
+	gh := crc64.New(crcTable)
+	var buf [4]byte
+	for _, x := range w.s {
+		binary.LittleEndian.PutUint32(buf[:], uint32(x))
+		gh.Write(buf[:]) //fod:errok hash.Hash.Write never returns an error
+	}
+	ch := crc64.New(crcTable)
+	var wbuf [8]byte
+	for _, x := range gp.ColorWords {
+		binary.LittleEndian.PutUint64(wbuf[:], x)
+		ch.Write(wbuf[:]) //fod:errok hash.Hash.Write never returns an error
+	}
+	return fingerprintOf(gh.Sum64(), ch.Sum64())
+}
+
+// fingerprintOf combines the payload checksums of the "graph" and
+// "graph.colors" sections into the graph fingerprint.
+func fingerprintOf(graphCRC, colorCRC uint64) uint64 {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], graphCRC)
+	binary.LittleEndian.PutUint64(b[8:], colorCRC)
+	return crc64.Checksum(b[:], crcTable)
+}
+
+// FingerprintString renders a fingerprint the way Meta stores it.
+func FingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// Write serializes the graph, metadata and engine parts as one snapshot.
+// The graph facts of meta (GraphN, GraphM, GraphColors, GraphFingerprint)
+// are filled in by Write; callers provide the query fields. The output is
+// deterministic — identical inputs give byte-identical files.
+func Write(out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts) (int64, error) {
+	meta.GraphN = g.N()
+	meta.GraphM = g.M()
+	meta.GraphColors = g.NumColors()
+	meta.GraphFingerprint = FingerprintString(Fingerprint(g))
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return 0, fmt.Errorf("snap: encoding metadata: %w", err)
+	}
+
+	w := NewWriter()
+	w.Bytes("meta", mb)
+
+	gp := g.Parts()
+	gw := &i32w{}
+	encodeGraph(gw, gp)
+	w.I32("graph", gw.s)
+	w.U64("graph.colors", gp.ColorWords)
+
+	cw := &i32w{}
+	encodeCover(cw, parts.Cover)
+	w.I32("cover", cw.s)
+	if parts.Cover.MemberStore != nil {
+		encodeStore(w, "cover.member", parts.Cover.MemberStore)
+	}
+	if parts.Cover.KernelStore != nil {
+		encodeStore(w, "cover.kernel", parts.Cover.KernelStore)
+	}
+
+	dw := &i32w{}
+	var d8 []int8
+	encodeDist(dw, &d8, parts.Dist)
+	w.I32("dist", dw.s)
+	w.I8("dist.d8", d8)
+
+	qw := &i32w{}
+	encodeClauses(qw, parts)
+	w.I32("clauses", qw.s)
+
+	return w.WriteTo(out)
+}
+
+func encodeGraph(w *i32w, p graph.Parts) {
+	w.putInt(p.N)
+	w.putInt(p.NColors)
+	w.putSlice(p.Off)
+	w.putSlice(p.Adj)
+	w.putSlice(p.ColorOff)
+	w.putInt(len(p.ColorWords)) // cross-checked against the u64 section
+}
+
+// encodeCover writes the cover arrays; the optional Storing-Theorem
+// structures go to their own sections, flagged here.
+func encodeCover(w *i32w, p cover.Parts) {
+	w.putInt(p.R)
+	w.putInt(p.KernelP)
+	w.putSlice(p.BagOff)
+	w.putSlice(p.BagData)
+	w.putSlice(p.Centers)
+	w.putSlice(p.Assign)
+	if p.KernelP >= 0 {
+		w.putSlice(p.KernOff)
+		w.putSlice(p.KernData)
+	}
+	flag := func(b bool) int32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	w.put(flag(p.MemberStore != nil))
+	w.put(flag(p.KernelStore != nil))
+}
+
+func encodeStore(w *Writer, prefix string, p *store.Parts) {
+	mw := &i32w{}
+	mw.putInt(p.N)
+	mw.putInt(p.K)
+	mw.putInt(p.D)
+	mw.putInt(p.H)
+	mw.putInt(p.Size)
+	mw.putInt(len(p.Delta)) // cross-checked against the columns
+	w.I32(prefix+".meta", mw.s)
+	w.I8(prefix+".delta", p.Delta)
+	w.I64(prefix+".r", p.R)
+}
+
+func encodeDist(w *i32w, d8 *[]int8, p dist.Parts) {
+	w.putInt(p.R)
+	w.putInt(p.Bags)
+	w.putInt(p.MaxDepth)
+	w.putInt(p.SmallLeaves)
+	w.putInt(p.Fallbacks)
+	w.putInt(p.TableCells)
+	w.putInt(p.Work)
+	encodeDistNode(w, d8, p.Root)
+}
+
+func encodeDistNode(w *i32w, d8 *[]int8, np *dist.NodeParts) {
+	w.putInt(np.Kind)
+	switch np.Kind {
+	case dist.NodeSmall:
+		w.putSlice(np.SmallOff)
+		w.putSlice(np.SmallBall)
+		*d8 = append(*d8, np.SmallD...) // length == len(SmallBall)
+	case dist.NodeRecursive:
+		encodeCover(w, np.Cover)
+		w.putInt(len(np.Bags))
+		for i := range np.Bags {
+			bp := &np.Bags[i]
+			w.put(bp.SX)
+			w.putSlice(bp.DistS)
+			encodeDistNode(w, d8, bp.Inner)
+		}
+	}
+}
+
+func encodeClauses(w *i32w, p core.EngineParts) {
+	w.putInt(len(p.LiveIdx))
+	for _, ci := range p.LiveIdx {
+		w.putInt(ci)
+	}
+	w.putInt(len(p.Clauses))
+	for _, comps := range p.Clauses {
+		w.putInt(len(comps))
+		for i := range comps {
+			cp := &comps[i]
+			w.putSlice(cp.Starter)
+			if cp.Skip == nil {
+				w.put(0)
+				continue
+			}
+			w.put(1)
+			w.putInt(cp.Skip.K)
+			w.putSlice(cp.Skip.TableOff)
+			w.putSlice(cp.Skip.TableRow)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package snap_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+	"repro/internal/snap"
+)
+
+// FuzzSnapshotLoad throws arbitrary bytes at the full load path. The
+// contract under test is the package's central safety promise: hostile
+// input yields a typed error — never a panic, never an allocation sized
+// from unverified lengths. When a mutated input still parses, the restored
+// index is exercised briefly so decode-survivable mutations cannot smuggle
+// in structures the answering hot path would trip over.
+func FuzzSnapshotLoad(f *testing.F) {
+	// Seed with real snapshots and near-valid mutants so the fuzzer starts
+	// deep inside the decoder rather than bouncing off the magic check.
+	g := repro.Generate("grid", 36, repro.GenOptions{Seed: 5, Colors: 2})
+	ix, err := repro.BuildIndex(g, repro.MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := append([]byte(nil), buf.Bytes()...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:40])
+	for _, off := range []int{9, 13, 17, 25, 40, len(valid) / 2, len(valid) - 2} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0x55
+		f.Add(mut)
+	}
+
+	ux, err := repro.BuildIndex(
+		repro.Generate("path", 20, repro.GenOptions{Seed: 2, Colors: 1}),
+		repro.MustParseQuery("~(exists z (dist(x,z) <= 1 & C0(z)))", "x"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := ux.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), buf.Bytes()...))
+
+	f.Add([]byte{})
+	f.Add([]byte("FODSNAP1"))
+	f.Add([]byte("FODSNAP2 not really a snapshot"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := snap.Read(data)
+		if err != nil {
+			return // rejected cleanly — the desired outcome for garbage
+		}
+		if s.Graph == nil {
+			t.Fatal("Read returned nil graph without error")
+		}
+		ix, err := repro.ReadIndexSnapshot(data)
+		if err != nil {
+			return // container fine, semantic restore refused — also fine
+		}
+		// A restored index must answer without panicking. Keep the probes
+		// bounded: the fuzzer's job is crash-freedom, not correctness
+		// (the differential round-trip test owns that).
+		k := ix.Arity()
+		n := s.Graph.N()
+		if n == 0 {
+			return
+		}
+		tup := make([]int, k)
+		ix.Test(tup)
+		ix.Next(tup)
+		count := 0
+		ix.Enumerate(func([]int) bool {
+			count++
+			return count < 16
+		})
+	})
+}

@@ -1,0 +1,98 @@
+package snap_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/snap"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot fixture")
+
+const goldenPath = "testdata/golden-grid64.fodsnap"
+
+// goldenIndex is the fixed graph/query pair the golden fixture pins. Keep
+// it in sync with the committed file: regenerate with
+//
+//	go test ./internal/snap/ -run TestGolden -update
+func goldenIndex(t testing.TB) *repro.Index {
+	g := repro.Generate("grid", 64, repro.GenOptions{Seed: 3, Colors: 2})
+	ix, err := repro.BuildIndex(g, repro.MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestGoldenFormat pins the snapshot format byte for byte: any change to
+// the container layout, the section encodings, or the engine's
+// serialized structures shows up as a diff against the committed fixture
+// and forces a deliberate format-version decision.
+func TestGoldenFormat(t *testing.T) {
+	ix := goldenIndex(t)
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	got := buf.Bytes()
+	if !bytes.Equal(got, want) {
+		if len(got) != len(want) {
+			t.Fatalf("snapshot format changed: %d bytes, fixture has %d — if intentional, bump snap.Version and run -update",
+				len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("snapshot format changed at byte %d (0x%02x vs 0x%02x) — if intentional, bump snap.Version and run -update",
+					i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGoldenLoads proves old files stay readable: the committed fixture —
+// written by whatever code version created it — must still restore and
+// answer exactly like a freshly built index.
+func TestGoldenLoads(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	f, err := snap.Parse(data)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	meta, err := snap.ReadMeta(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.GraphN != 64 || meta.K != 2 {
+		t.Fatalf("fixture metadata off: n=%d k=%d", meta.GraphN, meta.K)
+	}
+	loaded, err := repro.ReadIndexSnapshot(data)
+	if err != nil {
+		t.Fatalf("fixture does not restore: %v", err)
+	}
+	fresh := goldenIndex(t)
+	if got, want := enumerate(loaded), enumerate(fresh); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fixture answers differently: %d solutions vs %d fresh", len(got), len(want))
+	}
+}

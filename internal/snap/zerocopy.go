@@ -1,0 +1,71 @@
+package snap
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The typed-section accessors normally decode element by element through
+// encoding/binary, which costs a full pass plus an allocation per
+// section. On a little-endian host the on-disk representation is already
+// the in-memory representation, so a section can be reinterpreted in
+// place — this is the "near-zero decoding" the format exists for: loading
+// becomes one sequential read, a checksum pass, and pointer casts.
+//
+// The fast path requires the section start to be aligned for the element
+// type. Sections are laid out 8-aligned relative to the start of the
+// file, and Go heap allocations (os.ReadFile, bytes.Buffer) are at least
+// 8-aligned, so in practice it always applies; a misaligned or big-endian
+// host silently falls back to the copying decoder, with identical
+// results.
+//
+// Zero-copy views alias the input: the byte slice handed to Parse/Read
+// must not be modified while the snapshot or a restored index is in use.
+// Every structure restored from a snapshot treats its arrays as
+// immutable, so this is an external contract only.
+
+// hostLittleEndian reports whether the host memory layout matches the
+// file's little-endian encoding.
+var hostLittleEndian = binary.NativeEndian.Uint16([]byte{0x12, 0x34}) == 0x3412
+
+// alignedTo reports whether b starts on an align-byte boundary.
+func alignedTo(b []byte, align uintptr) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(b)))%align == 0
+}
+
+func castI8(b []byte) []int8 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(unsafe.SliceData(b))), len(b))
+}
+
+func castI32(b []byte) ([]int32, bool) {
+	if !hostLittleEndian || !alignedTo(b, 4) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4), true
+}
+
+func castI64(b []byte) ([]int64, bool) {
+	if !hostLittleEndian || !alignedTo(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8), true
+}
+
+func castU64(b []byte) ([]uint64, bool) {
+	if !hostLittleEndian || !alignedTo(b, 8) {
+		return nil, false
+	}
+	if len(b) == 0 {
+		return nil, true
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8), true
+}

@@ -1,0 +1,107 @@
+package store
+
+import "fmt"
+
+// Parts is the flat serialized form of a Store: the trie parameters plus
+// the register file split into its two columns (Delta and R), ready to be
+// laid out as fixed-width snapshot sections. The slices alias the store's
+// register file — treat them as read-only and do not mutate the store
+// while a snapshot write is in progress.
+type Parts struct {
+	N    int // universe size
+	K    int // arity
+	D    int // trie degree ⌈n^ε⌉
+	H    int // digits per coordinate
+	Size int // |Dom(f)|
+
+	Delta []int8  // cells[1:free].Delta
+	R     []int64 // cells[1:free].R
+}
+
+// Parts returns the serialized form of the store.
+func (s *Store) Parts() Parts {
+	p := Parts{N: s.n, K: s.k, D: s.d, H: s.h, Size: s.size,
+		Delta: make([]int8, s.free-1), R: make([]int64, s.free-1)}
+	for i := int64(1); i < s.free; i++ {
+		p.Delta[i-1] = s.cells[i].Delta
+		p.R[i-1] = s.cells[i].R
+	}
+	return p
+}
+
+// FromParts reconstructs a Store from its serialized form. It validates
+// the trie invariants that the constant-time read path relies on (block
+// granularity, child pointers landing on block starts inside the register
+// file) so that a corrupted snapshot yields an error instead of an
+// out-of-range panic in Access.
+func FromParts(p Parts) (*Store, error) {
+	if p.N < 1 || p.K < 1 || p.D < 2 || p.H < 1 {
+		return nil, fmt.Errorf("store: invalid snapshot parameters n=%d k=%d d=%d h=%d", p.N, p.K, p.D, p.H)
+	}
+	if len(p.Delta) != len(p.R) {
+		return nil, fmt.Errorf("store: snapshot column lengths differ: %d deltas, %d registers", len(p.Delta), len(p.R))
+	}
+	kh := p.K * p.H
+	if kh > 1024 {
+		return nil, fmt.Errorf("store: snapshot depth k·h = %d implausibly large", kh)
+	}
+	block := p.D + 1
+	if len(p.Delta) < block || len(p.Delta)%block != 0 {
+		return nil, fmt.Errorf("store: %d registers is not a positive multiple of the block size %d", len(p.Delta), block)
+	}
+	s := &Store{
+		n: p.N, k: p.K, d: p.D, h: p.H, kh: kh,
+		size: p.Size,
+		dig1: make([]int, kh),
+		dig2: make([]int, kh),
+	}
+	s.cells = make([]Cell, 1+len(p.Delta))
+	for i := range p.Delta {
+		s.cells[1+i] = Cell{Delta: p.Delta[i], R: p.R[i]}
+	}
+	s.free = int64(len(s.cells))
+	if err := s.validateBlocks(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateBlocks walks the trie from the root and checks every child
+// pointer: Delta = 1 cells above the leaf level must point at the start
+// of a block inside the register file, and the walk must respect the trie
+// depth. Unreachable garbage blocks are tolerated (reads never visit
+// them); dangling pointers are not.
+func (s *Store) validateBlocks() error {
+	type frame struct {
+		l     int64
+		depth int
+	}
+	stack := []frame{{1, 0}}
+	seen := map[int64]bool{1: true}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < s.d; c++ {
+			cell := s.cells[fr.l+int64(c)]
+			if cell.Delta != 1 {
+				continue
+			}
+			if fr.depth == s.kh-1 {
+				continue // leaf level: R holds the stored value
+			}
+			child := cell.R
+			if child < 1 || child+int64(s.d) >= s.free || (child-1)%int64(s.d+1) != 0 {
+				return fmt.Errorf("store: child pointer %d at register %d is not a valid block start", child, fr.l+int64(c))
+			}
+			if seen[child] {
+				return fmt.Errorf("store: block %d reachable twice (cycle or shared subtree)", child)
+			}
+			seen[child] = true
+			if fr.depth+1 >= s.kh {
+				return fmt.Errorf("store: trie deeper than k·h = %d", s.kh)
+			}
+			stack = append(stack, frame{child, fr.depth + 1})
+		}
+	}
+	return nil
+}

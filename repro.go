@@ -157,6 +157,7 @@ func (q *Query) Canonical() string {
 type Index struct {
 	e *core.Engine
 	k int
+	q *Query // retained for snapshots; nil only for zero-value indexes
 }
 
 // Metrics is an observability registry (internal/obs): atomic counters
@@ -219,7 +220,7 @@ func BuildIndexCtx(ctx context.Context, g *Graph, q *Query, opt IndexOptions) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Index{e: e, k: lq.K}, nil
+	return &Index{e: e, k: lq.K, q: q}, nil
 }
 
 // Next returns the lexicographically smallest solution ≥ tuple, in

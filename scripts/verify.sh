@@ -7,6 +7,8 @@
 #            concurrency-sensitive suite under -race in -short mode; the
 #            serving layer (internal/serve) additionally runs its full
 #            suite under -race — it is the concurrency surface of the repo
+#            — and the snapshot decoder fuzzes for 30s (FuzzSnapshotLoad):
+#            hostile bytes must yield typed errors, never a panic or OOM
 #   tier 3 — performance guards:
 #            (a) metrics-overhead guard: NextGeq with metrics disabled must
 #                not be slower than with metrics enabled (the nil-sink fast
@@ -18,6 +20,10 @@
 #                Engine.Test must report 0 allocs/op in steady state on
 #                the E15 benchmark graph — the dynamic twin of the
 #                fodlint hotpath analyzer
+#            (d) snapshot guards (SNAP_GUARD=1): loading the E15 index
+#                from a snapshot must be ≥10× faster than rebuilding it,
+#                and the restored index must keep the zero-alloc
+#                enumeration hot path (see README "Snapshots")
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -44,6 +50,8 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     go test -race -short ./...
     echo "== tier 2: serving layer full suite under -race =="
     go test -race -count=1 ./internal/serve/
+    echo "== tier 2: snapshot decoder fuzz (30s) =="
+    go test -run FuzzSnapshotLoad -fuzz FuzzSnapshotLoad -fuzztime 30s ./internal/snap/
 fi
 
 if [[ "$tier" == "3" || "$tier" == "all" ]]; then
@@ -53,6 +61,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     SERVE_GUARD=1 go test -run TestColdResumeGuard -count=1 -v ./internal/serve/
     echo "== tier 3: allocation guards (LINT_GUARD=1) =="
     LINT_GUARD=1 go test -run ZeroAllocs -count=1 -v ./internal/core/
+    echo "== tier 3: snapshot guards (SNAP_GUARD=1) =="
+    SNAP_GUARD=1 go test -run 'TestSnapshotLoad' -count=1 -v ./internal/snap/
 fi
 
 echo "verify: OK (tier $tier)"

@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+)
+
+// WriteSnapshot serializes the fully built index — graph, query metadata,
+// and every preprocessed structure (neighborhood cover, kernels, distance
+// recursion, starter lists, skip pointers, Storing-Theorem registers) —
+// into the immutable snapshot format of internal/snap. Loading the result
+// with LoadIndexSnapshot skips all of the pseudo-linear preprocessing and
+// yields an index that answers byte-identically.
+//
+// The output is deterministic: the same graph and query always produce
+// the same bytes, so snapshots can be content-addressed and compared.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	if ix.q == nil {
+		return fmt.Errorf("repro: index has no query attached; only indexes from BuildIndex can be snapshotted")
+	}
+	lq, err := ix.q.compile()
+	if err != nil {
+		return err
+	}
+	vars := make([]string, len(ix.q.Vars))
+	for i, v := range ix.q.Vars {
+		vars[i] = string(v)
+	}
+	meta := snap.Meta{
+		Query:       ix.q.Phi.String(),
+		Vars:        vars,
+		Canonical:   ix.q.Canonical(),
+		K:           lq.K,
+		R:           lq.R,
+		LocalRadius: lq.LocalRadius,
+		Guarded:     lq.Guarded,
+	}
+	_, err = snap.Write(w, ix.e.Graph(), meta, ix.e.SnapshotParts())
+	return err
+}
+
+// SaveIndexSnapshot writes the snapshot atomically to path: the bytes go
+// to a temporary file in the same directory first, which is renamed into
+// place only after a successful write.
+func SaveIndexSnapshot(ix *Index, path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ix.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// ReadIndexSnapshotOpt is ReadIndexSnapshot with explicit options
+// (parallelism for the restore-side derivations, metrics registry).
+func ReadIndexSnapshotOpt(data []byte, opt IndexOptions) (*Index, error) {
+	s, err := snap.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return restoreSnapshotOpt(s, opt)
+}
+
+// ReadIndexSnapshot reconstructs an index from snapshot bytes. The query
+// is re-parsed and re-compiled from the embedded source (the compiler is
+// deterministic, so the serialized engine parts line up exactly), and
+// every structural invariant is revalidated — corrupted input yields an
+// error, never a panic. The returned index answers byte-identically to
+// the freshly built one the snapshot was taken from.
+func ReadIndexSnapshot(data []byte) (*Index, error) {
+	return restoreSnapshot(snap.Read(data))
+}
+
+// LoadIndexSnapshot is ReadIndexSnapshot over the contents of path.
+func LoadIndexSnapshot(path string) (*Index, error) {
+	return restoreSnapshot(snap.ReadFile(path))
+}
+
+// LoadIndexSnapshotOpt is LoadIndexSnapshot with explicit options
+// (parallelism for the restore-side derivations, metrics registry).
+func LoadIndexSnapshotOpt(path string, opt IndexOptions) (*Index, error) {
+	s, err := snap.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return restoreSnapshotOpt(s, opt)
+}
+
+func restoreSnapshot(s *snap.Snapshot, err error) (*Index, error) {
+	if err != nil {
+		return nil, err
+	}
+	return restoreSnapshotOpt(s, IndexOptions{})
+}
+
+func restoreSnapshotOpt(s *snap.Snapshot, opt IndexOptions) (*Index, error) {
+	q, err := ParseQuery(s.Meta.Query, s.Meta.Vars...)
+	if err != nil {
+		return nil, fmt.Errorf("repro: snapshot query does not parse: %w", err)
+	}
+	if got := q.Canonical(); got != s.Meta.Canonical {
+		return nil, fmt.Errorf("repro: snapshot query is not canonical: %q reprints as %q", s.Meta.Canonical, got)
+	}
+	lq, err := q.compile()
+	if err != nil {
+		return nil, fmt.Errorf("repro: snapshot query does not compile: %w", err)
+	}
+	if lq.K != s.Meta.K || lq.R != s.Meta.R || lq.LocalRadius != s.Meta.LocalRadius || lq.Guarded != s.Meta.Guarded {
+		return nil, fmt.Errorf("repro: snapshot query compiled to (k=%d r=%d ρ=%d guarded=%v), metadata says (k=%d r=%d ρ=%d guarded=%v)",
+			lq.K, lq.R, lq.LocalRadius, lq.Guarded, s.Meta.K, s.Meta.R, s.Meta.LocalRadius, s.Meta.Guarded)
+	}
+	e, err := core.RestoreEngine(s.Graph, lq, s.Parts, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e: e, k: lq.K, q: q}, nil
+}
+
+// SnapshotGraph returns the graph embedded in snapshot bytes without
+// restoring the index.
+func SnapshotGraph(data []byte) (*Graph, error) {
+	s, err := snap.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return s.Graph, nil
+}
