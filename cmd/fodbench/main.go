@@ -62,6 +62,8 @@ func main() {
 	delayProfile := flag.Bool("delay-profile", false,
 		"run the enumeration-delay profiler (experiment E15) and emit BENCH_delay.json + BENCH_preproc.json")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (expvar), /debug/metrics (JSON) and /debug/pprof on this address while the experiments run")
+	trace := flag.Bool("trace", false,
+		"build one index, enumerate one page, and print the request-scoped span tree (the offline view of /debug/traces)")
 	flag.Parse()
 	parallelism = par.Resolve(parallelism)
 
@@ -72,6 +74,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "fodbench: debug server on http://%s/debug/vars\n", ln.Addr())
+	}
+	if *trace {
+		runTrace(*quick)
+		return
 	}
 	if *delayProfile {
 		runE15(*quick)

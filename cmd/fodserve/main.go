@@ -18,6 +18,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -51,6 +52,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "index-build workers (0 = all CPUs)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 	snapshotDir := flag.String("snapshot-dir", "", "disk cache tier: load/store index snapshots in this directory (created if missing)")
+	traceBuffer := flag.Int("trace-buffer", 256, "retained traces in the in-memory ring (0 disables tracing)")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "always retain traces at least this slow (negative: retain all)")
+	traceSample := flag.Int("trace-sample", 16, "keep 1 in N fast, successful traces (1: all; negative: none)")
+	logFormat := flag.String("log-format", "json", "structured log format: json, text, or off")
 	flag.Parse()
 
 	graphs := make(map[string]*repro.Graph)
@@ -89,6 +94,24 @@ func main() {
 	}
 
 	reg := obs.New()
+	var tracer *obs.Tracer
+	if *traceBuffer > 0 {
+		tracer = obs.NewTracer(obs.TracerConfig{
+			Buffer:  *traceBuffer,
+			Slow:    *traceSlow,
+			SampleN: *traceSample,
+		})
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fail(fmt.Errorf("-log-format %q: want json, text, or off", *logFormat))
+	}
 	srv := serve.NewServer(serve.Config{
 		Graphs:         graphs,
 		CacheSize:      *cacheSize,
@@ -100,6 +123,8 @@ func main() {
 		Parallelism:    *parallel,
 		Metrics:        reg,
 		SnapshotDir:    *snapshotDir,
+		Tracer:         tracer,
+		Logger:         logger,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -108,7 +133,11 @@ func main() {
 	for name, g := range graphs {
 		fmt.Fprintf(os.Stderr, "fodserve: graph %q: n=%d m=%d colors=%d\n", name, g.N(), g.M(), g.NumColors())
 	}
-	fmt.Fprintf(os.Stderr, "fodserve: serving on http://%s/v1 (metrics at /debug/metrics)\n", *addr)
+	extras := "metrics at /debug/metrics"
+	if tracer != nil {
+		extras += ", traces at /debug/traces"
+	}
+	fmt.Fprintf(os.Stderr, "fodserve: serving on http://%s/v1 (%s)\n", *addr, extras)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

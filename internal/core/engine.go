@@ -189,7 +189,10 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 	pool := par.NewPool(workers).WithMetrics(par.NewMetrics(opt.Obs, "engine.pool"))
 	e.stats.Workers = workers
 	e.gbfs = newScratchPool(g)
-	root := opt.Obs.Span("preprocess")
+	// StartSpan instead of Span: when the context carries a request trace
+	// (serve's singleflight build), the whole phase tree below lands in
+	// that trace under its existing span names.
+	root := opt.Obs.StartSpan(ctx, "preprocess")
 
 	// Distance index (Proposition 4.2) for the type tests dist ≤ R and —
 	// on guarded queries — for the distance atoms inside the component

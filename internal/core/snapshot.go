@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cover"
@@ -90,6 +91,14 @@ func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*
 	pool := par.NewPool(workers).WithMetrics(par.NewMetrics(opt.Obs, "engine.pool"))
 	e.stats.Workers = workers
 	e.gbfs = newScratchPool(g)
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The restore phases mirror Preprocess's span tree under "restore"
+	// instead of "preprocess", so a trace shows at a glance whether a
+	// request paid for a disk load or a full build.
+	root := opt.Obs.StartSpan(ctx, "restore")
 
 	distR := e.r
 	for ci := range q.Clauses {
@@ -99,7 +108,9 @@ func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*
 			}
 		}
 	}
+	sp := root.Child("dist")
 	dix, err := dist.FromParts(g, p.Dist)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +130,9 @@ func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*
 			coverR = alt
 		}
 	}
-	cov, err := cover.FromParts(g, p.Cover)
+	sp = root.Child("cover")
+	cov, err := cover.FromPartsObs(g, p.Cover, opt.Obs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -147,19 +160,24 @@ func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*
 	if len(p.LiveIdx) != len(p.Clauses) {
 		return nil, fmt.Errorf("core: snapshot has %d live indices for %d clause payloads", len(p.LiveIdx), len(p.Clauses))
 	}
+	sp = root.Child("clauses")
 	prev := -1
 	for i, ci := range p.LiveIdx {
 		if ci <= prev || ci >= len(q.Clauses) {
+			sp.End()
 			return nil, fmt.Errorf("core: snapshot live-clause indices not increasing within the query's %d clauses", len(q.Clauses))
 		}
 		prev = ci
 		rt, err := e.restoreClause(&q.Clauses[ci], p.Clauses[i], pool)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: clause %d: %w", ci, err)
 		}
 		e.clauses = append(e.clauses, rt)
 		e.liveIdx = append(e.liveIdx, ci)
 	}
+	sp.End()
+	root.End()
 	e.exportInstruments(opt.Obs)
 	return e, nil
 }
@@ -211,7 +229,7 @@ func (e *Engine) restoreClause(cl *Clause, parts []CompParts, pool *par.Pool) (*
 			if cp.Skip.K != e.k-1 {
 				return nil, fmt.Errorf("component %d skip table has set size %d, arity needs %d", li, cp.Skip.K, e.k-1)
 			}
-			sk, err := skip.FromParts(e.cov, c.starter, *cp.Skip)
+			sk, err := skip.FromPartsObs(e.cov, c.starter, *cp.Skip, e.obsReg)
 			if err != nil {
 				return nil, err
 			}

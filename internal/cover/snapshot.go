@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/store"
 )
@@ -138,6 +139,14 @@ func invertLists(rows [][]graph.V, n int) [][]int32 {
 // answering phase indexes with (bag ids, vertex ranges, sortedness) so a
 // corrupted snapshot errors instead of panicking at query time.
 func FromParts(g *graph.Graph, p Parts) (*Cover, error) {
+	return FromPartsObs(g, p, nil)
+}
+
+// FromPartsObs is FromParts with the optional Storing-Theorem structures
+// restored through the instrumented store path (store.FromPartsObs), so a
+// registry sees their restore latency and register counts. A nil reg is
+// the plain FromParts.
+func FromPartsObs(g *graph.Graph, p Parts, reg *obs.Registry) (*Cover, error) {
 	if p.R < 1 {
 		return nil, fmt.Errorf("cover: snapshot radius %d < 1", p.R)
 	}
@@ -186,7 +195,7 @@ func FromParts(g *graph.Graph, p Parts) (*Cover, error) {
 	}
 
 	if p.MemberStore != nil {
-		ms, err := store.FromParts(*p.MemberStore)
+		ms, err := store.FromPartsObs(*p.MemberStore, reg)
 		if err != nil {
 			return nil, fmt.Errorf("cover: member store: %w", err)
 		}
@@ -196,7 +205,7 @@ func FromParts(g *graph.Graph, p Parts) (*Cover, error) {
 		if c.kernelOf == nil {
 			return nil, fmt.Errorf("cover: kernel store present without kernels")
 		}
-		ks, err := store.FromParts(*p.KernelStore)
+		ks, err := store.FromPartsObs(*p.KernelStore, reg)
 		if err != nil {
 			return nil, fmt.Errorf("cover: kernel store: %w", err)
 		}

@@ -21,6 +21,12 @@ import (
 //   - append whose result lands anywhere but a plain local variable
 //     (field, index or global targets amortize to heap growth)
 //   - closures capturing loop variables (each iteration allocates)
+//   - calls into log and log/slog (logging formats and locks; request
+//     events belong in the serve layer, outside the enumeration loop)
+//   - method calls on the tracing types (Span, Trace, Tracer, Ring) and
+//     the span constructors Registry.Span / Registry.StartSpan: a span
+//     reads the clock twice and may take a trace lock, so per-answer
+//     tracing would turn O(1) delay into O(instrumentation)
 //
 // The dynamic twin of this analyzer is the LINT_GUARD AllocsPerRun suite
 // in internal/core, which pins Iterator.Next and Engine.Test at
@@ -89,7 +95,13 @@ func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, allowedAppen
 					pass.Report(call.Pos(), "%s: calls time.%s on the hot path (clock reads belong in un-annotated instrumented wrappers)",
 						fn.Name.Name, sel.Sel.Name)
 				}
+			case "log", "log/slog":
+				pass.Report(call.Pos(), "%s: calls %s.%s on the hot path (logging formats and locks; emit events outside //fod:hotpath)",
+					fn.Name.Name, pkg.Imported().Name(), sel.Sel.Name)
 			}
+		} else if recv, meth, ok := tracingMethod(pass, sel); ok {
+			pass.Report(call.Pos(), "%s: calls %s.%s on the hot path (tracing reads clocks and locks; spans belong in un-annotated wrappers)",
+				fn.Name.Name, recv, meth)
 		}
 	}
 	// Builtins and conversions.
@@ -145,6 +157,41 @@ func isByteSlice(t types.Type) bool {
 	}
 	b, ok := s.Elem().Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Byte
+}
+
+// tracingTypes are the receiver type names whose every method is a
+// tracing primitive; spanConstructors are the Registry methods that mint
+// spans. Matching is by name, not import path, so the golden fixtures
+// (which may only import stdlib) can declare look-alike types — and any
+// future copy of the tracing vocabulary is caught too.
+var tracingTypes = map[string]bool{
+	"Span": true, "Trace": true, "Tracer": true, "Ring": true,
+}
+
+var spanConstructors = map[string]bool{
+	"Span": true, "StartSpan": true,
+}
+
+// tracingMethod reports whether sel is a method call on one of the
+// tracing types, or a span-constructor call on a Registry.
+func tracingMethod(pass *Pass, sel *ast.SelectorExpr) (recv, meth string, ok bool) {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	name := named.Obj().Name()
+	if tracingTypes[name] || (name == "Registry" && spanConstructors[sel.Sel.Name]) {
+		return name, sel.Sel.Name, true
+	}
+	return "", "", false
 }
 
 // packageOf resolves expr to the *types.PkgName it names, or nil.

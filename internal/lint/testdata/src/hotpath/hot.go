@@ -5,6 +5,8 @@ package hot
 
 import (
 	"fmt"
+	"log"
+	"log/slog"
 	"time"
 )
 
@@ -51,4 +53,40 @@ func good(xs []int) int {
 		}
 	}
 	return len(buf)
+}
+
+// Look-alikes of the tracing vocabulary: the hotpath rule matches the
+// receiver type NAME (Span, Trace, Tracer, Ring; Registry's span
+// constructors), so the fixture needs no out-of-stdlib import.
+type Span struct{ n int }
+
+func (s *Span) End() {}
+
+type Registry struct{ n int }
+
+func (r *Registry) Span(name string) *Span      { return &Span{} }
+func (r *Registry) StartSpan(name string) *Span { return &Span{} }
+func (r *Registry) Names() int                  { return r.n }
+
+// traced is annotated and calls every forbidden tracing/logging form.
+//
+//fod:hotpath
+func traced(r *Registry, s *Span) {
+	sp := r.Span("page")       // want "calls Registry.Span on the hot path"
+	sp2 := r.StartSpan("page") // want "calls Registry.StartSpan on the hot path"
+	sp.End()                   // want "calls Span.End on the hot path"
+	sp2.End()                  // want "calls Span.End on the hot path"
+	s.End()                    // want "calls Span.End on the hot path"
+	slog.Info("event")         // want "calls slog.Info on the hot path"
+	log.Println("event")       // want "calls log.Println on the hot path"
+	_ = r.Names()              // Registry methods that mint no spans are fine
+}
+
+// untraced does the same without the annotation: no findings.
+func untraced(r *Registry, s *Span) {
+	sp := r.Span("page")
+	sp.End()
+	s.End()
+	slog.Info("event")
+	log.Println("event")
 }

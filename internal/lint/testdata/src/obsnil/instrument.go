@@ -48,3 +48,36 @@ func (g *Gauge) Inc() { g.Set(g.Load() + 1) }
 
 // internal is unexported: out of the contract's scope.
 func (g *Gauge) internal() int64 { return g.v }
+
+// Trace mimics the retained request trace: a nil *Trace (tracer disabled
+// or request sampled out) must be a sink like any other instrument.
+type Trace struct{ spans []int }
+
+// Spans guards first: the canonical pattern.
+func (t *Trace) Spans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Detail forgets the guard.
+func (t *Trace) Detail() int {
+	return len(t.spans) // want "dereferences receiver t \(field spans\) before a nil guard"
+}
+
+// Ring mimics the lock-free trace ring.
+type Ring struct{ head int }
+
+// Len guards first.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.head
+}
+
+// Push forgets the guard.
+func (r *Ring) Push() {
+	r.head++ // want "dereferences receiver r \(field head\) before a nil guard"
+}

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // DebugMux returns an http.Handler serving the standard debug surface:
@@ -16,6 +19,15 @@ import (
 // A private mux is used instead of http.DefaultServeMux so importing this
 // package never mutates global handler state.
 func DebugMux(reg *Registry) *http.ServeMux {
+	return DebugMuxTraced(reg, nil)
+}
+
+// DebugMuxTraced is DebugMux plus, when t is non-nil, the trace explorer:
+//
+//	/debug/traces      list of retained traces; query params status=ok|error,
+//	                   min_ms=N (minimum duration), limit=N (default 100)
+//	/debug/traces/{id} one trace as a full span tree
+func DebugMuxTraced(reg *Registry, t *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -27,7 +39,76 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if t != nil {
+		RegisterTraceHandlers(mux, t)
+	}
 	return mux
+}
+
+// RegisterTraceHandlers mounts the trace explorer endpoints on mux.
+func RegisterTraceHandlers(mux *http.ServeMux, t *Tracer) {
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeTraceList(w, r, t)
+	})
+	mux.HandleFunc("GET /debug/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeTraceDetail(w, r, t)
+	})
+}
+
+func writeTraceList(w http.ResponseWriter, r *http.Request, t *Tracer) {
+	q := r.URL.Query()
+	limit := 100
+	if s := q.Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var minDur time.Duration
+	if s := q.Get("min_ms"); s != "" {
+		if ms, err := strconv.ParseFloat(s, 64); err == nil && ms > 0 {
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	status := q.Get("status") // "", "ok", "error"
+	out := struct {
+		Traces []TraceSummary `json:"traces"`
+	}{Traces: []TraceSummary{}}
+	for _, tr := range t.Traces() {
+		s := tr.Summary()
+		if s.DurNS < minDur.Nanoseconds() {
+			continue
+		}
+		isErr := s.Status >= 400 || s.Error != ""
+		if status == "error" && !isErr || status == "ok" && isErr {
+			continue
+		}
+		out.Traces = append(out.Traces, s)
+		if len(out.Traces) >= limit {
+			break
+		}
+	}
+	writeDebugJSON(w, out)
+}
+
+func writeTraceDetail(w http.ResponseWriter, r *http.Request, t *Tracer) {
+	id, ok := ParseTraceID(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "malformed trace id", http.StatusBadRequest)
+		return
+	}
+	tr := t.Get(id)
+	if tr == nil {
+		http.Error(w, "trace not retained (sampled out, overwritten, or never seen)", http.StatusNotFound)
+		return
+	}
+	writeDebugJSON(w, tr.Detail())
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // ServeDebug publishes reg under the expvar name "repro" and serves

@@ -26,6 +26,18 @@ type Histogram struct {
 	buckets [NumBuckets]atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
+	// exemplars[b] remembers the last traced observation that landed in
+	// bucket b, linking the latency distribution back to concrete request
+	// traces. Written only by ObserveTraced, so the plain Observe path —
+	// the one on the answering hot loop — is untouched.
+	exemplars [NumBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram bucket to the last trace whose value landed
+// in it (see Histogram.ObserveTraced).
+type Exemplar struct {
+	Trace TraceID
+	NS    int64
 }
 
 // bucketOf maps a nanosecond value to its bucket index.
@@ -72,6 +84,25 @@ func (h *Histogram) ObserveNS(ns int64) {
 	}
 }
 
+// ObserveTraced records ns like ObserveNS and, when id is non-zero,
+// stamps the value's bucket with the trace id, so a latency tail in
+// /debug/metrics points at an actual trace in /debug/traces. Exemplar
+// upkeep is one extra allocation and pointer store per traced call —
+// callers on request-scoped paths only.
+func (h *Histogram) ObserveTraced(ns int64, id TraceID) {
+	if h == nil {
+		return
+	}
+	h.ObserveNS(ns)
+	if id.IsZero() {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.exemplars[bucketOf(ns)].Store(&Exemplar{Trace: id, NS: ns})
+}
+
 // Count returns the number of recorded values.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -106,7 +137,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P99 = quantile(counts, s.Count, s.Max, 0.99)
 	for b, n := range counts {
 		if n != 0 {
-			s.Buckets = append(s.Buckets, Bucket{LE: bucketUpper(b), N: n})
+			bk := Bucket{LE: bucketUpper(b), N: n}
+			if e := h.exemplars[b].Load(); e != nil {
+				bk.Trace = e.Trace.String()
+			}
+			s.Buckets = append(s.Buckets, bk)
 		}
 	}
 	return s
@@ -159,10 +194,12 @@ func quantile(counts []int64, total, max int64, q float64) int64 {
 }
 
 // Bucket is one occupied histogram bucket: N values ≤ LE nanoseconds
-// (and greater than the previous bucket's edge).
+// (and greater than the previous bucket's edge). Trace, when present, is
+// the id of the last traced observation that landed here — the exemplar.
 type Bucket struct {
-	LE int64 `json:"le"`
-	N  int64 `json:"n"`
+	LE    int64  `json:"le"`
+	N     int64  `json:"n"`
+	Trace string `json:"trace_id,omitempty"`
 }
 
 // HistogramSnapshot is the JSON form of a histogram. All durations are

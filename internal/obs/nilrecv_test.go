@@ -19,6 +19,9 @@ func TestNilReceiversAreSinks(t *testing.T) {
 		(*Histogram)(nil),
 		(*Span)(nil),
 		(*Registry)(nil),
+		(*Tracer)(nil),
+		(*Trace)(nil),
+		(*Ring)(nil),
 	}
 	writerT := reflect.TypeOf((*io.Writer)(nil)).Elem()
 	for _, target := range targets {

@@ -34,13 +34,16 @@ type indexCache struct {
 
 	baseCtx context.Context // parent of every build; canceled on shutdown
 	build   func(ctx context.Context, key cacheKey) (*repro.Index, error)
+	reg     *obs.Registry // span source; nil means no tracing/metrics
 
 	// Optional second cache tier (disk snapshots). loadSnap is consulted
 	// on every memory miss before building; storeSnap persists a freshly
 	// built index. Both run inside the singleflight flight, so concurrent
-	// misses share one disk probe and one build across BOTH tiers.
-	loadSnap  func(key cacheKey) (*repro.Index, bool)
-	storeSnap func(key cacheKey, ix *repro.Index) bool
+	// misses share one disk probe and one build across BOTH tiers. The ctx
+	// is the flight's: it carries the trace of the request that opened the
+	// flight, and is canceled when the last waiter leaves.
+	loadSnap  func(ctx context.Context, key cacheKey) (*repro.Index, bool)
+	storeSnap func(ctx context.Context, key cacheKey, ix *repro.Index) bool
 
 	// Owned instruments; registered in the obs registry when present so
 	// /v1/stats and /debug/metrics read the same numbers.
@@ -79,6 +82,7 @@ func newIndexCache(baseCtx context.Context, capacity int, reg *obs.Registry,
 		flights: make(map[cacheKey]*flight),
 		baseCtx: baseCtx,
 		build:   build,
+		reg:     reg,
 	}
 	if reg != nil {
 		reg.RegisterCounter("serve.cache.hits", &c.hits)
@@ -98,6 +102,13 @@ func newIndexCache(baseCtx context.Context, capacity int, reg *obs.Registry,
 // already resident. ctx bounds only this caller's wait; the build keeps
 // running for the remaining waiters.
 func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hit bool, err error) {
+	sp := c.reg.StartSpan(ctx, "cache.lookup")
+	ix, hit, err = c.lookup(sp.Attach(ctx), key)
+	sp.End()
+	return ix, hit, err
+}
+
+func (c *indexCache) lookup(ctx context.Context, key cacheKey) (ix *repro.Index, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -112,6 +123,10 @@ func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hi
 		c.shared.Inc()
 	} else {
 		bctx, cancel := context.WithCancel(c.baseCtx)
+		// The flight outlives this request's context (other waiters may
+		// still need the build), but its spans should land in the trace of
+		// the request that opened it — carry the SpanCtx over explicitly.
+		bctx = obs.ContextWithSpan(bctx, obs.SpanFromContext(ctx))
 		f = &flight{waiters: 1, cancel: cancel, done: make(chan struct{})}
 		c.flights[key] = f
 		c.misses.Inc()
@@ -138,22 +153,35 @@ func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hi
 }
 
 func (c *indexCache) run(ctx context.Context, key cacheKey, f *flight) {
+	fl := c.reg.StartSpan(ctx, "cache.flight")
+	ctx = fl.Attach(ctx)
 	var ix *repro.Index
 	var err error
 	fromDisk := false
 	if c.loadSnap != nil {
-		if loaded, ok := c.loadSnap(key); ok {
+		sp := c.reg.StartSpan(ctx, "cache.snapshot_load")
+		loaded, ok := c.loadSnap(sp.Attach(ctx), key)
+		sp.End()
+		if ok {
 			ix, fromDisk = loaded, true
 			c.snapHits.Inc()
 		}
 	}
 	if !fromDisk {
 		c.builds.Inc()
-		ix, err = c.build(ctx, key)
-		if err == nil && c.storeSnap != nil && c.storeSnap(key, ix) {
-			c.snapWrites.Inc()
+		sp := c.reg.StartSpan(ctx, "cache.build")
+		ix, err = c.build(sp.Attach(ctx), key)
+		sp.End()
+		if err == nil && c.storeSnap != nil {
+			sp = c.reg.StartSpan(ctx, "cache.snapshot_write")
+			ok := c.storeSnap(sp.Attach(ctx), key, ix)
+			sp.End()
+			if ok {
+				c.snapWrites.Inc()
+			}
 		}
 	}
+	fl.End()
 	f.cancel() // release the context's resources
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -83,6 +84,18 @@ type Config struct {
 	// histograms, cache hit/miss counters, in-flight gauge) and every
 	// index it builds, and is served at /debug/metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records one span tree per request — cache
+	// lookup, singleflight build or snapshot load phase by phase, cursor
+	// resume, page scan — retains them with tail sampling (errors and slow
+	// requests always, the fast bulk 1-in-N), and serves them at
+	// /debug/traces. Incoming W3C traceparent headers are honored and the
+	// response carries one. Nil disables tracing at the cost of one branch
+	// per request.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, emits one structured access-log record per
+	// request plus index-build and snapshot-tier events, each carrying the
+	// request's trace id when Tracer is set. Nil disables logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -110,9 +123,11 @@ func (c Config) withDefaults() Config {
 // Server is the query-serving layer. Create with NewServer, mount
 // Handler(), stop with Shutdown.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *indexCache
+	cfg    Config
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	log    *slog.Logger
+	cache  *indexCache
 
 	mu      sync.Mutex // guards queries
 	queries map[string]*queryEntry
@@ -149,10 +164,13 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
+		log:     cfg.Logger,
 		queries: make(map[string]*queryEntry),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	s.tracer.Register(cfg.Metrics)
 	s.cache = newIndexCache(ctx, cfg.CacheSize, cfg.Metrics, s.buildIndex)
 	if cfg.SnapshotDir != "" {
 		s.graphFP = make(map[string]string, len(cfg.Graphs))
@@ -180,46 +198,78 @@ func (s *Server) snapshotPath(key cacheKey) string {
 // (missing file, corruption, foreign graph) falls back to building; the
 // error classes are counted separately so operators can tell a cold
 // directory from a corrupted one.
-func (s *Server) loadSnapshot(key cacheKey) (*repro.Index, bool) {
+func (s *Server) loadSnapshot(ctx context.Context, key cacheKey) (*repro.Index, bool) {
 	data, err := os.ReadFile(s.snapshotPath(key))
 	if err != nil {
 		return nil, false // cold tier: no snapshot yet
 	}
 	start := time.Now()
+	reject := func(counter, reason string) (*repro.Index, bool) {
+		s.reg.Counter(counter).Inc()
+		// Rejections pay real latency (read + parse + validate) that the
+		// success histogram must not absorb; they get their own.
+		s.reg.Histogram("serve.snapshot.reject_ns").Observe(time.Since(start))
+		s.logEvent(ctx, slog.LevelWarn, "snapshot_reject",
+			slog.String("query_id", queryID(key.graph, key.canonical)),
+			slog.String("reason", reason))
+		return nil, false
+	}
 	f, err := snap.Parse(data)
 	if err != nil {
-		s.reg.Counter("serve.snapshot.corrupt").Inc()
-		return nil, false
+		return reject("serve.snapshot.corrupt", "corrupt: "+err.Error())
 	}
 	meta, err := snap.ReadMeta(f)
 	if err != nil {
-		s.reg.Counter("serve.snapshot.corrupt").Inc()
-		return nil, false
+		return reject("serve.snapshot.corrupt", "corrupt: "+err.Error())
 	}
 	if meta.Canonical != key.canonical || meta.GraphFingerprint != s.graphFP[key.graph] {
-		s.reg.Counter("serve.snapshot.mismatch").Inc()
-		return nil, false
+		return reject("serve.snapshot.mismatch", "foreign graph or query")
 	}
-	ix, err := repro.ReadIndexSnapshotOpt(data, repro.IndexOptions{Parallelism: s.cfg.Parallelism, Metrics: s.reg})
+	ix, err := repro.ReadIndexSnapshotCtx(ctx, data, repro.IndexOptions{Parallelism: s.cfg.Parallelism, Metrics: s.reg})
 	if err != nil {
-		s.reg.Counter("serve.snapshot.corrupt").Inc()
-		return nil, false
+		return reject("serve.snapshot.corrupt", "restore: "+err.Error())
 	}
-	s.reg.Histogram("serve.snapshot.load_ns").Observe(time.Since(start))
+	d := time.Since(start)
+	s.reg.Histogram("serve.snapshot.load_ns").Observe(d)
+	s.logEvent(ctx, slog.LevelInfo, "snapshot_load",
+		slog.String("query_id", queryID(key.graph, key.canonical)),
+		slog.Int64("dur_us", d.Microseconds()),
+		slog.Int("bytes", len(data)))
 	return ix, true
 }
 
 // writeSnapshot persists a freshly built index for the next cold start.
 // Failures are counted and swallowed — the build already succeeded, so
 // the request must not fail because the disk tier is unhappy.
-func (s *Server) writeSnapshot(key cacheKey, ix *repro.Index) bool {
+func (s *Server) writeSnapshot(ctx context.Context, key cacheKey, ix *repro.Index) bool {
 	start := time.Now()
-	if err := repro.SaveIndexSnapshot(ix, s.snapshotPath(key)); err != nil {
+	if err := repro.SaveIndexSnapshotObs(ctx, ix, s.snapshotPath(key), s.reg); err != nil {
 		s.reg.Counter("serve.snapshot.write_errors").Inc()
+		s.logEvent(ctx, slog.LevelWarn, "snapshot_write_failed",
+			slog.String("query_id", queryID(key.graph, key.canonical)),
+			slog.String("error", err.Error()))
 		return false
 	}
-	s.reg.Histogram("serve.snapshot.write_ns").Observe(time.Since(start))
+	d := time.Since(start)
+	s.reg.Histogram("serve.snapshot.write_ns").Observe(d)
+	s.logEvent(ctx, slog.LevelInfo, "snapshot_write",
+		slog.String("query_id", queryID(key.graph, key.canonical)),
+		slog.Int64("dur_us", d.Microseconds()))
 	return true
+}
+
+// logEvent emits one structured event record with the trace id of the
+// request (or build flight) the context belongs to. No-op without Logger.
+func (s *Server) logEvent(ctx context.Context, lvl slog.Level, msg string, attrs ...slog.Attr) {
+	if s.log == nil {
+		return
+	}
+	tid := ""
+	if sc := obs.SpanFromContext(ctx); sc.Trace != nil {
+		tid = sc.Trace.ID().String()
+	}
+	attrs = append(attrs, slog.String("trace_id", tid))
+	s.log.LogAttrs(ctx, lvl, msg, attrs...)
 }
 
 // buildIndex is the cache's build function: it resolves the key back to
@@ -241,10 +291,23 @@ func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, er
 	if q == nil {
 		return nil, fmt.Errorf("serve: query %q not registered", key.canonical)
 	}
-	return repro.BuildIndexCtx(ctx, g, q, repro.IndexOptions{
+	start := time.Now()
+	ix, err := repro.BuildIndexCtx(ctx, g, q, repro.IndexOptions{
 		Parallelism: s.cfg.Parallelism,
 		Metrics:     s.reg,
 	})
+	if err != nil {
+		s.logEvent(ctx, slog.LevelWarn, "index_build_failed",
+			slog.String("graph", key.graph),
+			slog.String("query_id", queryID(key.graph, key.canonical)),
+			slog.String("error", err.Error()))
+		return nil, err
+	}
+	s.logEvent(ctx, slog.LevelInfo, "index_build",
+		slog.String("graph", key.graph),
+		slog.String("query_id", queryID(key.graph, key.canonical)),
+		slog.Int64("dur_us", time.Since(start).Microseconds()))
+	return ix, nil
 }
 
 // queryID derives the deterministic id of a (graph, canonical) pair.
@@ -263,8 +326,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/next", s.instrument("next", s.handleNext))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /v1/cache/flush", s.instrument("flush", s.handleFlush))
-	if s.reg != nil {
-		mux.Handle("/debug/", obs.DebugMux(s.reg))
+	if s.reg != nil || s.tracer != nil {
+		mux.Handle("/debug/", obs.DebugMuxTraced(s.reg, s.tracer))
 	}
 	return mux
 }
@@ -297,8 +360,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // instrument wraps a handler with the serving middleware: shutdown
 // rejection, in-flight tracking (WaitGroup for draining, gauge for
-// scrapes), the per-request deadline, and per-endpoint latency/error
-// instruments.
+// scrapes), the per-request deadline, per-endpoint latency/error
+// instruments, and — when configured — the request trace (traceparent
+// honored on the way in, emitted on the way out, span tree finished and
+// tail-sampled on completion, latency bucket stamped with the trace id)
+// and the structured access-log record.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.reg.Histogram("serve.http." + name + "_ns")
 	reqs := s.reg.Counter("serve.http." + name + "_requests")
@@ -318,6 +384,18 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
+		var tr *obs.Trace
+		var root *obs.Span
+		if s.tracer != nil {
+			// A well-formed incoming traceparent is adopted (the caller's
+			// trace continues here); anything malformed mints a fresh id.
+			id, remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			tr = s.tracer.Start(r.Method+" "+r.URL.Path, id, remote)
+			w.Header().Set("traceparent", tr.Traceparent())
+			ctx = obs.ContextWithSpan(ctx, obs.SpanCtx{Trace: tr})
+			root = s.reg.StartSpan(ctx, "http."+name)
+			ctx = root.Attach(ctx)
+		}
 		r = r.WithContext(ctx)
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -326,10 +404,37 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		hist.Observe(time.Since(start))
+		d := time.Since(start)
+		if tr != nil {
+			root.End()
+			hist.ObserveTraced(d.Nanoseconds(), tr.ID())
+			tr.Finish(sw.code, "")
+		} else {
+			hist.Observe(d)
+		}
 		reqs.Inc()
 		if sw.code >= 400 {
 			errs.Inc()
+		}
+		if s.log != nil {
+			lvl := slog.LevelInfo
+			switch {
+			case sw.code >= 500:
+				lvl = slog.LevelError
+			case sw.code >= 400:
+				lvl = slog.LevelWarn
+			}
+			tid := ""
+			if tr != nil {
+				tid = tr.ID().String()
+			}
+			s.log.LogAttrs(ctx, lvl, "request",
+				slog.String("method", r.Method),
+				slog.String("endpoint", name),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code),
+				slog.Int64("dur_us", d.Microseconds()),
+				slog.String("trace_id", tid))
 		}
 	}
 }
@@ -474,11 +579,17 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	it := ix.IteratorFrom(start)
-	sols := make([][]int, 0, min(limit, 1024))
+	// Two spans, matching the paper's split: the O(1) cursor resume (Seek
+	// Lemma / NextGeq positioning) and the constant-delay page scan.
 	ctx := r.Context()
+	sp := s.reg.StartSpan(ctx, "enumerate.resume")
+	it := ix.IteratorFrom(start)
+	sp.End()
+	sp = s.reg.StartSpan(ctx, "enumerate.scan")
+	sols := make([][]int, 0, min(limit, 1024))
 	for len(sols) < limit {
 		if len(sols)%64 == 0 && ctx.Err() != nil {
+			sp.End()
 			writeCacheErr(w, ctx.Err())
 			return
 		}
@@ -497,6 +608,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		copy(cp, sol)
 		sols = append(sols, cp)
 	}
+	sp.End()
 
 	resp := EnumerateResponse{
 		ID:        entry.id,

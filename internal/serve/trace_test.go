@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer guards the slog sink: the singleflight flight goroutine and
+// the request goroutine both emit events.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Split(strings.TrimSpace(b.buf.String()), "\n")
+}
+
+// traceIDOf extracts the trace id from a traceparent response header.
+func traceIDOf(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	tp := resp.Header.Get("traceparent")
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 {
+		t.Fatalf("malformed traceparent response header %q", tp)
+	}
+	return parts[1]
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{Buffer: 16, Slow: -1})
+	_, ts := testServer(t, func(c *Config) { c.Tracer = tracer })
+
+	const remote = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	req.Header.Set("traceparent", remote)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := traceIDOf(t, resp); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("propagated trace id not reused: got %s", got)
+	}
+
+	// Malformed header: the server mints a fresh id instead of failing.
+	req, _ = http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	req.Header.Set("traceparent", "00-UPPERCASEID0000000000000000000000-b7ad6b7169203331-01")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fresh := traceIDOf(t, resp)
+	if _, ok := obs.ParseTraceID(fresh); !ok {
+		t.Fatalf("fresh trace id %q does not parse", fresh)
+	}
+	if fresh == "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatal("malformed traceparent should not reuse the previous id")
+	}
+}
+
+func TestTraceTailRetention(t *testing.T) {
+	// Nothing is slow enough and sampling is off: only errors survive.
+	tracer := obs.NewTracer(obs.TracerConfig{Buffer: 16, Slow: time.Hour, SampleN: -1})
+	_, ts := testServer(t, func(c *Config) { c.Tracer = tracer })
+
+	for i := 0; i < 5; i++ {
+		resp, _ := getJSON(t, ts.URL+"/v1/stats")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats: %d", resp.StatusCode)
+		}
+	}
+	resp, _ := getJSON(t, ts.URL+"/v1/enumerate?query=bogus")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus query: want 404, got %d", resp.StatusCode)
+	}
+	errID := traceIDOf(t, resp)
+
+	var list struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	_, data := getJSON(t, ts.URL+"/debug/traces")
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	if len(list.Traces) != 1 {
+		t.Fatalf("want exactly the error trace retained, got %d: %s", len(list.Traces), data)
+	}
+	if list.Traces[0].ID != errID || list.Traces[0].Status != http.StatusNotFound {
+		t.Fatalf("retained trace mismatch: %+v (want id %s status 404)", list.Traces[0], errID)
+	}
+
+	// The status filter hides it; the ok filter shows nothing.
+	_, data = getJSON(t, ts.URL+"/debug/traces?status=ok")
+	list.Traces = nil
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Traces) != 0 {
+		t.Fatalf("status=ok should hide the error trace: %s (err %v)", data, err)
+	}
+}
+
+// TestColdBuildTraceExplorer is the end-to-end acceptance path: a cold
+// index build behind GET /v1/enumerate is retained by the slow-trace
+// rule, its span tree walks cache lookup → singleflight build →
+// preprocessing phases → enumeration, and the structured access log
+// carries the same trace id.
+func TestColdBuildTraceExplorer(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{Buffer: 16, Slow: time.Millisecond, SampleN: -1})
+	sink := &syncBuffer{}
+	_, ts := testServer(t, func(c *Config) {
+		c.Tracer = tracer
+		c.Logger = slog.New(slog.NewJSONHandler(sink, nil))
+	})
+
+	qr := registerQuery(t, ts.URL, "big", "dist(x,y) <= 2", "x", "y")
+	if resp, data := postJSON(t, ts.URL+"/v1/cache/flush", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %d: %s", resp.StatusCode, data)
+	}
+
+	resp, _ := getJSON(t, ts.URL+"/v1/enumerate?query="+qr.ID+"&limit=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enumerate: %d", resp.StatusCode)
+	}
+	id := traceIDOf(t, resp)
+
+	resp, data := getJSON(t, ts.URL+"/debug/traces/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold build trace not retained: %d: %s", resp.StatusCode, data)
+	}
+	var det obs.TraceDetail
+	if err := json.Unmarshal(data, &det); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	names := map[string]bool{}
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(det.Tree)
+	for _, want := range []string{
+		"http.enumerate",
+		"cache.lookup", "cache.flight", "cache.build",
+		"preprocess", "preprocess.dist", "preprocess.cover",
+		"enumerate.resume", "enumerate.scan",
+	} {
+		if !names[want] {
+			t.Errorf("span %q missing from cold-build trace (have %v)", want, names)
+		}
+	}
+
+	// The access log line and the build event share the trace id.
+	var sawRequest, sawBuild bool
+	for _, line := range sink.Lines() {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["trace_id"] != id {
+			continue
+		}
+		switch rec["msg"] {
+		case "request":
+			if rec["endpoint"] == "enumerate" {
+				sawRequest = true
+			}
+		case "index_build":
+			sawBuild = true
+		}
+	}
+	if !sawRequest || !sawBuild {
+		t.Fatalf("log correlation incomplete: request=%v build=%v (trace %s)\n%s",
+			sawRequest, sawBuild, id, strings.Join(sink.Lines(), "\n"))
+	}
+}
+
+// TestRequestHistogramExemplar checks the histogram→trace bridge at the
+// serve layer: after a traced request, the endpoint latency histogram
+// remembers a trace id in the bucket the request landed in.
+func TestRequestHistogramExemplar(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{Buffer: 16, Slow: -1})
+	var reg *obs.Registry
+	_, ts := testServer(t, func(c *Config) {
+		c.Tracer = tracer
+		reg = c.Metrics
+	})
+
+	resp, _ := getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	id := traceIDOf(t, resp)
+
+	snap := reg.Histogram("serve.http.stats_ns").Snapshot()
+	found := false
+	for _, bk := range snap.Buckets {
+		if bk.Trace == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no bucket of serve.http.stats_ns remembers trace %s: %+v", id, snap.Buckets)
+	}
+}

@@ -2,8 +2,10 @@ package skip
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cover"
+	"repro/internal/obs"
 )
 
 // Parts is the flat serialized form of the skip pointers: the Lemma 5.8
@@ -51,6 +53,26 @@ func (p *Pointers) Parts() Parts {
 // the binary search of lookup — so corrupted snapshots error instead of
 // panicking mid-query.
 func FromParts(cov *cover.Cover, L []int, parts Parts) (*Pointers, error) {
+	return FromPartsObs(cov, L, parts, nil)
+}
+
+// FromPartsObs is FromParts with restore instrumentation through reg (nil
+// reg records nothing): wall time into the "skip.restore_ns" histogram,
+// restored entry counts into "skip.restore_pointers", and rejected
+// snapshots into "skip.restore_errors".
+func FromPartsObs(cov *cover.Cover, L []int, parts Parts, reg *obs.Registry) (*Pointers, error) {
+	start := time.Now()
+	p, err := fromParts(cov, L, parts)
+	reg.Histogram("skip.restore_ns").Observe(time.Since(start))
+	if err != nil {
+		reg.Counter("skip.restore_errors").Inc()
+		return nil, err
+	}
+	reg.Counter("skip.restore_pointers").Add(int64(p.Size()))
+	return p, nil
+}
+
+func fromParts(cov *cover.Cover, L []int, parts Parts) (*Pointers, error) {
 	if parts.K < 1 || parts.K > MaxSetSize {
 		return nil, fmt.Errorf("skip: snapshot set size %d outside [1, %d]", parts.K, MaxSetSize)
 	}

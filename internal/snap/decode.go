@@ -1,6 +1,7 @@
 package snap
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/skip"
 	"repro/internal/store"
 )
@@ -45,7 +47,31 @@ func ReadMeta(f *File) (Meta, error) {
 // and no allocation is sized from unverified input — corrupted or hostile
 // bytes yield a typed error, never a panic or OOM.
 func Read(data []byte) (*Snapshot, error) {
+	return ReadTraced(context.Background(), data, nil)
+}
+
+// ReadTraced is Read with decode instrumentation through reg (nil reg is
+// plain Read): a "snap.decode" span with one child per section group
+// (parse, graph, cover, dist, clauses) — enrolled in the request trace
+// when ctx carries one — plus the counters "snap.decode.bytes" and
+// "snap.decode.errors". This is the latency breakdown of the serve disk
+// tier's load path.
+func ReadTraced(ctx context.Context, data []byte, reg *obs.Registry) (*Snapshot, error) {
+	root := reg.StartSpan(ctx, "snap.decode")
+	s, err := readSections(data, root)
+	root.End()
+	reg.Counter("snap.decode.bytes").Add(int64(len(data)))
+	if err != nil {
+		reg.Counter("snap.decode.errors").Inc()
+		return nil, err
+	}
+	return s, nil
+}
+
+func readSections(data []byte, root *obs.Span) (*Snapshot, error) {
+	sp := root.Child("parse")
 	f, err := Parse(data)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +79,9 @@ func Read(data []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp = root.Child("graph")
 	g, err := readGraph(f)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -66,19 +94,26 @@ func Read(data []byte) (*Snapshot, error) {
 	}
 	s := &Snapshot{Graph: g, Meta: meta}
 
+	sp = root.Child("cover")
 	cp, err := readCover(f)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	s.Parts.Cover = cp
 
+	sp = root.Child("dist")
 	dp, err := readDist(f)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	s.Parts.Dist = dp
 
-	if err := readClauses(f, &s.Parts); err != nil {
+	sp = root.Child("clauses")
+	err = readClauses(f, &s.Parts)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return s, nil

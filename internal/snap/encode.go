@@ -1,6 +1,7 @@
 package snap
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -84,6 +86,26 @@ func FingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
 // are filled in by Write; callers provide the query fields. The output is
 // deterministic — identical inputs give byte-identical files.
 func Write(out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts) (int64, error) {
+	return WriteTraced(context.Background(), out, g, meta, parts, nil)
+}
+
+// WriteTraced is Write with encode instrumentation through reg (nil reg is
+// plain Write): a "snap.encode" span with per-section children — enrolled
+// in the request trace when ctx carries one — plus the counters
+// "snap.encode.bytes" and "snap.encode.errors". This is the latency
+// breakdown of the serve disk tier's write-back path.
+func WriteTraced(ctx context.Context, out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts, reg *obs.Registry) (int64, error) {
+	root := reg.StartSpan(ctx, "snap.encode")
+	n, err := writeSections(out, g, meta, parts, root)
+	root.End()
+	reg.Counter("snap.encode.bytes").Add(n)
+	if err != nil {
+		reg.Counter("snap.encode.errors").Inc()
+	}
+	return n, err
+}
+
+func writeSections(out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts, root *obs.Span) (int64, error) {
 	meta.GraphN = g.N()
 	meta.GraphM = g.M()
 	meta.GraphColors = g.NumColors()
@@ -96,12 +118,15 @@ func Write(out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts) (in
 	w := NewWriter()
 	w.Bytes("meta", mb)
 
+	sp := root.Child("graph")
 	gp := g.Parts()
 	gw := &i32w{}
 	encodeGraph(gw, gp)
 	w.I32("graph", gw.s)
 	w.U64("graph.colors", gp.ColorWords)
+	sp.End()
 
+	sp = root.Child("cover")
 	cw := &i32w{}
 	encodeCover(cw, parts.Cover)
 	w.I32("cover", cw.s)
@@ -111,18 +136,26 @@ func Write(out io.Writer, g *graph.Graph, meta Meta, parts core.EngineParts) (in
 	if parts.Cover.KernelStore != nil {
 		encodeStore(w, "cover.kernel", parts.Cover.KernelStore)
 	}
+	sp.End()
 
+	sp = root.Child("dist")
 	dw := &i32w{}
 	var d8 []int8
 	encodeDist(dw, &d8, parts.Dist)
 	w.I32("dist", dw.s)
 	w.I8("dist.d8", d8)
+	sp.End()
 
+	sp = root.Child("clauses")
 	qw := &i32w{}
 	encodeClauses(qw, parts)
 	w.I32("clauses", qw.s)
+	sp.End()
 
-	return w.WriteTo(out)
+	sp = root.Child("flush")
+	n, err := w.WriteTo(out)
+	sp.End()
+	return n, err
 }
 
 func encodeGraph(w *i32w, p graph.Parts) {

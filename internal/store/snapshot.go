@@ -1,6 +1,11 @@
 package store
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Parts is the flat serialized form of a Store: the trie parameters plus
 // the register file split into its two columns (Delta and R), ready to be
@@ -35,6 +40,27 @@ func (s *Store) Parts() Parts {
 // file) so that a corrupted snapshot yields an error instead of an
 // out-of-range panic in Access.
 func FromParts(p Parts) (*Store, error) {
+	return FromPartsObs(p, nil)
+}
+
+// FromPartsObs is FromParts with restore instrumentation through reg (nil
+// reg records nothing): wall time — dominated by the block-pointer
+// validation walk — into the "store.restore_ns" histogram, restored
+// register counts into "store.restore_registers", and rejected snapshots
+// into "store.restore_errors".
+func FromPartsObs(p Parts, reg *obs.Registry) (*Store, error) {
+	start := time.Now()
+	s, err := fromParts(p)
+	reg.Histogram("store.restore_ns").Observe(time.Since(start))
+	if err != nil {
+		reg.Counter("store.restore_errors").Inc()
+		return nil, err
+	}
+	reg.Counter("store.restore_registers").Add(int64(len(p.Delta)))
+	return s, nil
+}
+
+func fromParts(p Parts) (*Store, error) {
 	if p.N < 1 || p.K < 1 || p.D < 2 || p.H < 1 {
 		return nil, fmt.Errorf("store: invalid snapshot parameters n=%d k=%d d=%d h=%d", p.N, p.K, p.D, p.H)
 	}

@@ -24,6 +24,11 @@
 #                from a snapshot must be ≥10× faster than rebuilding it,
 #                and the restored index must keep the zero-alloc
 #                enumeration hot path (see README "Snapshots")
+#            (e) trace guards (TRACE_GUARD=1): a server with tracing
+#                disabled serves pages no slower than a traced one (the
+#                one-branch disabled path), and Iterator.Next/Index.Test
+#                stay at 0 allocs/op with a live request trace — spans
+#                wrap pages and phases, never answers (README "Tracing")
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -50,6 +55,8 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     go test -race -short ./...
     echo "== tier 2: serving layer full suite under -race =="
     go test -race -count=1 ./internal/serve/
+    echo "== tier 2: trace ring + tail sampling under -race =="
+    go test -race -count=1 -run 'TestRing|TestTailSampling|TestTraceSpanTree' ./internal/obs/
     echo "== tier 2: snapshot decoder fuzz (30s) =="
     go test -run FuzzSnapshotLoad -fuzz FuzzSnapshotLoad -fuzztime 30s ./internal/snap/
 fi
@@ -63,6 +70,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     LINT_GUARD=1 go test -run ZeroAllocs -count=1 -v ./internal/core/
     echo "== tier 3: snapshot guards (SNAP_GUARD=1) =="
     SNAP_GUARD=1 go test -run 'TestSnapshotLoad' -count=1 -v ./internal/snap/
+    echo "== tier 3: trace guards (TRACE_GUARD=1) =="
+    TRACE_GUARD=1 go test -run 'TestTraced|TestTraceDisabledOverheadGuard' -count=1 -v ./internal/serve/
 fi
 
 echo "verify: OK (tier $tier)"

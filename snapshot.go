@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,14 @@ import (
 // The output is deterministic: the same graph and query always produce
 // the same bytes, so snapshots can be content-addressed and compared.
 func (ix *Index) WriteSnapshot(w io.Writer) error {
+	return ix.WriteSnapshotObs(context.Background(), w, nil)
+}
+
+// WriteSnapshotObs is WriteSnapshot with encode instrumentation: section
+// timings become "snap.encode" spans in m — enrolled in the request trace
+// when ctx carries one (obs.ContextWithSpan) — so a serving layer can see
+// where a snapshot write-back spends its time.
+func (ix *Index) WriteSnapshotObs(ctx context.Context, w io.Writer, m *Metrics) error {
 	if ix.q == nil {
 		return fmt.Errorf("repro: index has no query attached; only indexes from BuildIndex can be snapshotted")
 	}
@@ -39,7 +48,7 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 		LocalRadius: lq.LocalRadius,
 		Guarded:     lq.Guarded,
 	}
-	_, err = snap.Write(w, ix.e.Graph(), meta, ix.e.SnapshotParts())
+	_, err = snap.WriteTraced(ctx, w, ix.e.Graph(), meta, ix.e.SnapshotParts(), m)
 	return err
 }
 
@@ -47,12 +56,18 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 // to a temporary file in the same directory first, which is renamed into
 // place only after a successful write.
 func SaveIndexSnapshot(ix *Index, path string) error {
+	return SaveIndexSnapshotObs(context.Background(), ix, path, nil)
+}
+
+// SaveIndexSnapshotObs is SaveIndexSnapshot with encode instrumentation
+// (see WriteSnapshotObs).
+func SaveIndexSnapshotObs(ctx context.Context, ix *Index, path string, m *Metrics) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := ix.WriteSnapshot(tmp); err != nil {
+	if err := ix.WriteSnapshotObs(ctx, tmp, m); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -74,11 +89,20 @@ func dirOf(path string) string {
 // ReadIndexSnapshotOpt is ReadIndexSnapshot with explicit options
 // (parallelism for the restore-side derivations, metrics registry).
 func ReadIndexSnapshotOpt(data []byte, opt IndexOptions) (*Index, error) {
-	s, err := snap.Read(data)
+	return ReadIndexSnapshotCtx(context.Background(), data, opt)
+}
+
+// ReadIndexSnapshotCtx is ReadIndexSnapshotOpt with a context: decode and
+// restore record "snap.decode"/"restore" span trees into opt.Metrics, and
+// when ctx carries a request trace (obs.ContextWithSpan) they land in it —
+// this is how a serve-layer snapshot load shows up phase by phase in
+// /debug/traces.
+func ReadIndexSnapshotCtx(ctx context.Context, data []byte, opt IndexOptions) (*Index, error) {
+	s, err := snap.ReadTraced(ctx, data, opt.Metrics)
 	if err != nil {
 		return nil, err
 	}
-	return restoreSnapshotOpt(s, opt)
+	return restoreSnapshotCtx(ctx, s, opt)
 }
 
 // ReadIndexSnapshot reconstructs an index from snapshot bytes. The query
@@ -114,6 +138,10 @@ func restoreSnapshot(s *snap.Snapshot, err error) (*Index, error) {
 }
 
 func restoreSnapshotOpt(s *snap.Snapshot, opt IndexOptions) (*Index, error) {
+	return restoreSnapshotCtx(context.Background(), s, opt)
+}
+
+func restoreSnapshotCtx(ctx context.Context, s *snap.Snapshot, opt IndexOptions) (*Index, error) {
 	q, err := ParseQuery(s.Meta.Query, s.Meta.Vars...)
 	if err != nil {
 		return nil, fmt.Errorf("repro: snapshot query does not parse: %w", err)
@@ -129,7 +157,7 @@ func restoreSnapshotOpt(s *snap.Snapshot, opt IndexOptions) (*Index, error) {
 		return nil, fmt.Errorf("repro: snapshot query compiled to (k=%d r=%d ρ=%d guarded=%v), metadata says (k=%d r=%d ρ=%d guarded=%v)",
 			lq.K, lq.R, lq.LocalRadius, lq.Guarded, s.Meta.K, s.Meta.R, s.Meta.LocalRadius, s.Meta.Guarded)
 	}
-	e, err := core.RestoreEngine(s.Graph, lq, s.Parts, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics})
+	e, err := core.RestoreEngine(s.Graph, lq, s.Parts, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
