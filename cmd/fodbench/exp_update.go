@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/xbench"
+)
+
+// runE16 measures the incremental-update claim of §3: after the
+// pseudo-linear preprocessing, a single-edge edit costs O(n^ε) through
+// Index.ApplyEdits — orders of magnitude below rebuilding the index from
+// the patched graph. Each trial toggles one existing edge (remove, then
+// re-add on the next trial), so every batch is effective and the chain
+// exercises both directions. The patched index is checked against a
+// from-scratch build of the same graph (FastCount equality) before any
+// timing is trusted.
+//
+// Emits BENCH_update.json: per class and size, the from-scratch build
+// wall, the median single-edge update wall, the median rebuild wall on
+// the patched graph, their ratio, and the fallback count (updates that
+// gave up locality and rebuilt internally — those would poison the
+// claim, so they are recorded).
+func runE16(quick bool) {
+	classes := []string{"grid", "btree"}
+	sizes := sweep(quick)
+	trials := 9
+	if quick {
+		trials = 5
+	}
+
+	out := updateFile{
+		Experiment: "E16",
+		Claim:      "§3 incremental update: single-edge ApplyEdits ≪ rebuild, answers identical",
+		Query:      benchQuery,
+		Quick:      quick,
+		Parallel:   parallelism,
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+
+	t := xbench.NewTable("class", "n", "build", "update p50", "rebuild p50", "speedup", "fallbacks")
+	for _, class := range classes {
+		for _, n := range sizes {
+			rec := profileUpdate(class, n, trials)
+			out.Records = append(out.Records, rec)
+			t.Add(class, rec.N, ns(rec.BuildNS), ns(rec.UpdateNS), ns(rec.RebuildNS),
+				fmt.Sprintf("%.0f×", rec.Speedup), rec.Fallbacks)
+		}
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nshape: update stays orders of magnitude under rebuild, gap widening with n.")
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "fodbench: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(outDir, "BENCH_update.json")
+	if err := writeBenchJSON(path, out); err != nil {
+		fmt.Fprintf(os.Stderr, "fodbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// profileUpdate builds one index, then alternately removes and re-inserts
+// one edge of the graph, timing each single-edit ApplyEdits and, for the
+// removed state, a full rebuild of the patched graph for comparison.
+func profileUpdate(class string, n, trials int) updateRecord {
+	ctx := context.Background()
+	g := repro.Generate(class, n, repro.GenOptions{Colors: 2, Seed: 16})
+	q := repro.MustParseQuery(benchQuery, "x", "y")
+
+	buildStart := time.Now()
+	ix, err := repro.Build(ctx, g, q, repro.WithParallelism(parallelism))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fodbench: E16 %s n=%d: %v\n", class, n, err)
+		os.Exit(1)
+	}
+	buildWall := time.Since(buildStart)
+
+	// The toggled edge: the first edge of the densest vertex, so the edit
+	// touches a nontrivial neighborhood rather than a leaf.
+	u := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(u) {
+			u = v
+		}
+	}
+	w := int(g.Neighbors(u)[0])
+
+	updates := make([]time.Duration, 0, trials)
+	rebuilds := make([]time.Duration, 0, trials)
+	fallbacks := 0
+	for i := 0; i < trials; i++ {
+		edit := repro.RemoveEdge(u, w)
+		if i%2 == 1 {
+			edit = repro.AddEdge(u, w)
+		}
+		before := ix.Stats().MutRebuilds
+		start := time.Now()
+		next, err := ix.ApplyEdits(ctx, []repro.Edit{edit})
+		d := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fodbench: E16 %s n=%d edit %d: %v\n", class, n, i, err)
+			os.Exit(1)
+		}
+		updates = append(updates, d)
+		if next.Stats().MutRebuilds > before {
+			fallbacks++
+		}
+
+		// Rebuild the same version from scratch and compare answers; the
+		// rebuild wall is the baseline the update is measured against.
+		start = time.Now()
+		oracle, err := repro.Build(ctx, next.Graph(), q, repro.WithParallelism(parallelism))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fodbench: E16 %s n=%d rebuild %d: %v\n", class, n, i, err)
+			os.Exit(1)
+		}
+		rebuilds = append(rebuilds, time.Since(start))
+		// FastCount, not Count: the solution set is Θ(n²)-ish and the
+		// comparison only needs cardinality equality.
+		if got, want := next.FastCount(), oracle.FastCount(); got != want {
+			fmt.Fprintf(os.Stderr, "fodbench: E16 %s n=%d edit %d: patched count %d, rebuilt %d\n",
+				class, n, i, got, want)
+			os.Exit(1)
+		}
+		ix = next
+	}
+
+	up, rb := median(updates), median(rebuilds)
+	return updateRecord{
+		Class:     class,
+		N:         g.N(),
+		M:         g.M(),
+		Trials:    trials,
+		BuildNS:   buildWall.Nanoseconds(),
+		UpdateNS:  up.Nanoseconds(),
+		RebuildNS: rb.Nanoseconds(),
+		Speedup:   float64(rb) / float64(up),
+		Fallbacks: fallbacks,
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// updateFile is the schema of BENCH_update.json. All durations are
+// nanoseconds; UpdateNS and RebuildNS are medians over Trials.
+type updateFile struct {
+	Experiment string         `json:"experiment"`
+	Claim      string         `json:"claim"`
+	Query      string         `json:"query"`
+	Quick      bool           `json:"quick"`
+	Parallel   int            `json:"parallel"`
+	NumCPU     int            `json:"num_cpu"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Records    []updateRecord `json:"records"`
+}
+
+type updateRecord struct {
+	Class     string  `json:"class"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Trials    int     `json:"trials"`
+	BuildNS   int64   `json:"build_ns"`
+	UpdateNS  int64   `json:"update_ns"`  // median single-edge ApplyEdits
+	RebuildNS int64   `json:"rebuild_ns"` // median from-scratch build of the patched graph
+	Speedup   float64 `json:"speedup"`    // rebuild / update
+	Fallbacks int     `json:"fallbacks"`  // updates that internally fell back to a rebuild
+}

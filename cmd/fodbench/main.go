@@ -43,6 +43,7 @@ var experiments = []experiment{
 	{"E12", "Counting ([18]): pseudo-linear FastCount vs counting by enumeration", runE12},
 	{"E13", "§2 characterization: weak r-accessibility small on nowhere dense classes", runE13},
 	{"E15", "Corollary 2.5 profiled: per-answer delay histograms → BENCH_delay.json", runE15},
+	{"E16", "§3 incremental update: single-edge ApplyEdits vs rebuild → BENCH_update.json", runE16},
 }
 
 // parallelism is the preprocessing worker count shared by all experiments

@@ -2,12 +2,16 @@
 // query against a loaded graph (POST /v1/query), then page through its
 // solutions with stateless constant-startup cursors (GET /v1/enumerate),
 // test membership (POST /v1/test) or seek (POST /v1/next) — the serving
-// face of Theorem 2.3 / Corollaries 2.4–2.5.
+// face of Theorem 2.3 / Corollaries 2.4–2.5. Graphs are mutable: POST
+// /v1/mutate applies an edit batch and publishes a new graph version
+// (the incremental update of §3); open cursors keep reading their
+// pinned version until it leaves the retention window (-retain).
 //
 //	fodserve -addr :8080 -graph road=road.txt -gen demo=grid:10000:1
 //	curl -s localhost:8080/v1/query -d '{"graph":"demo","query":"dist(x,y) > 2 & C0(y)","vars":["x","y"]}'
 //	curl -s 'localhost:8080/v1/enumerate?query=<id>&limit=100'
 //	curl -s 'localhost:8080/v1/enumerate?cursor=<next_cursor>'
+//	curl -s localhost:8080/v1/mutate -d '{"graph":"demo","edits":[{"op":"add_edge","u":0,"v":7}]}'
 //
 // Graphs are named at startup: -graph name=path loads the text format
 // (fodgen | fodrel emit it), -gen name=class:n[:colors[:seed]] generates a
@@ -52,6 +56,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "index-build workers (0 = all CPUs)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 	snapshotDir := flag.String("snapshot-dir", "", "disk cache tier: load/store index snapshots in this directory (created if missing)")
+	retain := flag.Int("retain", repro.DefaultRetainVersions, "graph versions kept readable behind the head for pinned cursors")
 	traceBuffer := flag.Int("trace-buffer", 256, "retained traces in the in-memory ring (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "always retain traces at least this slow (negative: retain all)")
 	traceSample := flag.Int("trace-sample", 16, "keep 1 in N fast, successful traces (1: all; negative: none)")
@@ -121,6 +126,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallel,
+		RetainVersions: *retain,
 		Metrics:        reg,
 		SnapshotDir:    *snapshotDir,
 		Tracer:         tracer,

@@ -62,6 +62,11 @@ type Stats struct {
 	KernelWall  time.Duration // wall time of kernel extraction
 	StarterWall time.Duration // wall time of starter-list computation
 	SkipWall    time.Duration // wall time of skip-pointer construction
+
+	Mutations   int           // ApplyEdits generations since the from-scratch build
+	MutAffected int           // starter slots recomputed by the last ApplyEdits
+	MutRebuilds int           // ApplyEdits calls that fell back to a full Preprocess
+	MutWall     time.Duration // wall time of the last ApplyEdits
 }
 
 // counters holds the answering-phase statistics as registry-compatible

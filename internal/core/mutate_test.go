@@ -1,0 +1,293 @@
+// Differential and fuzz tests of the mutation path: an engine evolved via
+// ApplyEdits must enumerate byte-identically to an engine preprocessed
+// from scratch on the edited graph, and both must match the naive oracle.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/naive"
+)
+
+// randomEditBatch draws a mixed batch of edge/color edits, biased so that
+// about half the edge edits hit existing edges (removals that do
+// something) and color flips toggle real colors.
+func randomEditBatch(rng *rand.Rand, g *graph.Graph, count int) []graph.Edit {
+	edits := make([]graph.Edit, 0, count)
+	for len(edits) < count {
+		switch rng.Intn(4) {
+		case 0, 1: // edge add/remove
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v {
+				continue
+			}
+			op := graph.AddEdge
+			if g.HasEdge(u, v) || rng.Intn(2) == 0 {
+				op = graph.RemoveEdge
+			}
+			edits = append(edits, graph.Edit{Op: op, U: u, V: v})
+		default: // color flip
+			if g.NumColors() == 0 {
+				continue
+			}
+			v, c := rng.Intn(g.N()), rng.Intn(g.NumColors())
+			op := graph.AddColor
+			if g.HasColor(v, c) {
+				op = graph.RemoveColor
+			}
+			edits = append(edits, graph.Edit{Op: op, U: v, Color: c})
+		}
+	}
+	return edits
+}
+
+type mutateCase struct {
+	class gen.Class
+	n     int
+	query string
+	vars  []fo.Var
+}
+
+func mutateCases() []mutateCase {
+	xy := []fo.Var{"x", "y"}
+	return []mutateCase{
+		// Large enough that single edits are genuinely local (the patched
+		// path is taken, see TestMutatePatchedPathTaken).
+		{gen.Grid, 400, "dist(x,y) > 2 & C0(y)", xy},
+		{gen.Path, 300, "dist(x,y) > 1 & C0(x) & C1(y)", xy},
+		{gen.RandomTree, 250, "E(x,y) & C0(x)", xy},
+		{gen.BoundedDegree, 200, "dist(x,y) > 2 & C0(x)", xy},
+		// Small graphs stress the fallback and repair paths.
+		{gen.Caterpillar, 50, "dist(x,y) > 2 & (exists z (E(x,z) & C0(z)))", xy},
+		{gen.Star, 40, "C0(x) & C1(y) & dist(x,y) > 1", xy},
+	}
+}
+
+// TestMutateDifferential chains several edit generations and, after each,
+// compares the mutated engine against a from-scratch build and the naive
+// oracle — full enumeration, membership probes, and counts.
+func TestMutateDifferential(t *testing.T) {
+	for _, tc := range mutateCases() {
+		t.Run(fmt.Sprintf("%s/%s", tc.class, tc.query), func(t *testing.T) {
+			g := gen.Generate(tc.class, tc.n, gen.Options{Seed: 5, Colors: 2})
+			lq, err := core.Compile(fo.MustParse(tc.query), tc.vars, core.CompileOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := core.Preprocess(g, lq, core.Options{Parallelism: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(tc.n)))
+			for generation := 0; generation < 5; generation++ {
+				edits := randomEditBatch(rng, g, 1+rng.Intn(5))
+				mutated, err := eng.ApplyEdits(nil, edits)
+				if err != nil {
+					t.Fatalf("generation %d: ApplyEdits: %v", generation, err)
+				}
+				gNew, err := graph.Patch(g, edits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rebuiltEng, err := core.Preprocess(gNew, lq, core.Options{Parallelism: 2})
+				if err != nil {
+					t.Fatalf("generation %d: rebuild: %v", generation, err)
+				}
+				got := materialize(mutated)
+				want := materialize(rebuiltEng)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("generation %d: mutated enumeration diverged from rebuild (%d vs %d tuples)",
+						generation, len(got), len(want))
+				}
+				oracle := naive.SolutionsLocal(gNew, lq)
+				if len(oracle) == 0 {
+					oracle = nil
+				}
+				if !reflect.DeepEqual(got, oracle) {
+					t.Fatalf("generation %d: mutated enumeration diverged from naive oracle (%d vs %d tuples)",
+						generation, len(got), len(oracle))
+				}
+				// Membership probes on random tuples.
+				for q := 0; q < 200; q++ {
+					a := []graph.V{rng.Intn(gNew.N()), rng.Intn(gNew.N())}
+					if mutated.Test(a) != rebuiltEng.Test(a) {
+						t.Fatalf("generation %d: Test(%v) disagrees with rebuild", generation, a)
+					}
+				}
+				g, eng = gNew, mutated
+			}
+		})
+	}
+}
+
+// TestMutateSnapshotIsolation: the old engine keeps answering with its old
+// results after (and while) a mutation derives the next version.
+func TestMutateSnapshotIsolation(t *testing.T) {
+	g := gen.Generate(gen.Grid, 400, gen.Options{Seed: 8, Colors: 2})
+	lq, err := core.Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Preprocess(g, lq, core.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := materialize(eng)
+	rng := rand.New(rand.NewSource(3))
+
+	// Readers hammer the old engine while writers chain mutations off it.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := []graph.V{r.Intn(g.N()), r.Intn(g.N())}
+				eng.Test(a)
+				eng.NextGeq(a)
+			}
+		}(int64(w))
+	}
+	cur := eng
+	for i := 0; i < 3; i++ {
+		edits := randomEditBatch(rng, cur.Graph(), 3)
+		next, err := cur.ApplyEdits(nil, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	close(stop)
+	wg.Wait()
+	after := materialize(eng)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("old engine's enumeration changed after mutations")
+	}
+}
+
+// TestMutatePatchedPathTaken guards against the patch silently degrading
+// into rebuild-always: on a large grid with a single-edge edit, the
+// incremental path (not the Preprocess fallback) must serve the mutation.
+func TestMutatePatchedPathTaken(t *testing.T) {
+	g := gen.Generate(gen.Grid, 900, gen.Options{Seed: 2, Colors: 1})
+	lq, err := core.Compile(fo.MustParse("dist(x,y) > 2 & C0(y)"), []fo.Var{"x", "y"}, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Preprocess(g, lq, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := eng.ApplyEdits(nil, []graph.Edit{{Op: graph.RemoveEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mutated.Stats()
+	if st.Mutations != 1 {
+		t.Fatalf("Mutations = %d, want 1", st.Mutations)
+	}
+	if st.MutRebuilds != 0 {
+		t.Fatalf("single-edge edit fell back to a full rebuild (MutRebuilds = %d)", st.MutRebuilds)
+	}
+	if st.MutAffected == 0 || st.MutAffected > g.N()/2 {
+		t.Fatalf("MutAffected = %d, want a small nonzero region of n=%d", st.MutAffected, g.N())
+	}
+	// A no-op batch returns the engine itself.
+	same, err := mutated.ApplyEdits(nil, []graph.Edit{{Op: graph.AddEdge, U: 0, V: 500}, {Op: graph.RemoveEdge, U: 0, V: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != mutated {
+		t.Fatal("identity edit batch should return the receiver engine")
+	}
+}
+
+// FuzzMutateVsRebuild drives random interleavings of edits and
+// enumerations from fuzz-provided bytes: every prefix of the edit stream
+// must enumerate byte-identically on the mutated engine, a from-scratch
+// rebuild, and the naive oracle.
+func FuzzMutateVsRebuild(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x40, 0x80, 0x13})
+	f.Add(int64(7), []byte{0xff, 0x00, 0x31, 0x62, 0x05, 0x99})
+	f.Add(int64(42), []byte{0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		if len(program) == 0 || len(program) > 64 {
+			t.Skip()
+		}
+		g := gen.Generate(gen.SparseRandom, 60, gen.Options{Seed: seed, Colors: 2})
+		lq, err := core.Compile(fo.MustParse("dist(x,y) > 1 & C0(x)"), []fo.Var{"x", "y"}, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.Preprocess(g, lq, core.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.N()
+		for i := 0; i+2 < len(program); i += 3 {
+			op := program[i] % 5
+			u := int(program[i+1]) % n
+			v := int(program[i+2]) % n
+			var edit graph.Edit
+			switch op {
+			case 0:
+				edit = graph.Edit{Op: graph.AddEdge, U: u, V: (v + 1) % n}
+				if u == edit.V {
+					continue
+				}
+			case 1:
+				edit = graph.Edit{Op: graph.RemoveEdge, U: u, V: (v + 1) % n}
+				if u == edit.V {
+					continue
+				}
+			case 2:
+				edit = graph.Edit{Op: graph.AddColor, U: u, Color: v % 2}
+			case 3:
+				edit = graph.Edit{Op: graph.RemoveColor, U: u, Color: v % 2}
+			default:
+				// Enumerate checkpoint without editing.
+				edit = graph.Edit{Op: graph.AddEdge, U: u, V: u} // no-op
+			}
+			mutated, err := eng.ApplyEdits(nil, []graph.Edit{edit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gNew, err := graph.Patch(g, []graph.Edit{edit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuiltEng, err := core.Preprocess(gNew, lq, core.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := materialize(mutated)
+			want := materialize(rebuiltEng)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d (%v): mutated %d tuples, rebuild %d tuples", i/3, edit, len(got), len(want))
+			}
+			oracle := naive.SolutionsLocal(gNew, lq)
+			if len(oracle) == 0 {
+				oracle = nil
+			}
+			if !reflect.DeepEqual(got, oracle) {
+				t.Fatalf("step %d (%v): mutated diverged from naive oracle", i/3, edit)
+			}
+			g, eng = gNew, mutated
+		}
+	})
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -78,14 +79,19 @@ type Cover struct {
 	assign   []int32     // 𝒳(a): index of the canonical bag covering N_R(a)
 	memberOf [][]int32   // sorted bag indices containing each vertex
 
-	membersOnce sync.Once
-	members     *store.Store // (bag, vertex) ↦ 1, the paper's f_𝒳
+	// members is the lazily built Storing-Theorem structure
+	// (bag, vertex) ↦ 1, the paper's f_𝒳. Atomic pointer + mutex instead
+	// of a sync.Once so the mutation path can *peek* (Load) without racing
+	// a concurrent reader's first build, and Patch can install a cloned,
+	// delta-updated store in the copied cover.
+	members   atomic.Pointer[store.Store]
+	membersMu sync.Mutex
 
-	kernelP         int         // radius of the computed kernels (-1 = none)
-	kernels         [][]graph.V // p-kernel per bag, sorted
-	kernelStoreOnce sync.Once
-	kernelStore     *store.Store // (bag, vertex) ↦ 1 for kernel membership
-	kernelOf        [][]int32    // sorted bag indices whose kernel contains v
+	kernelP       int                         // radius of the computed kernels (-1 = none)
+	kernels       [][]graph.V                 // p-kernel per bag, sorted
+	kernelStore   atomic.Pointer[store.Store] // (bag, vertex) ↦ 1 for kernel membership
+	kernelStoreMu sync.Mutex
+	kernelOf      [][]int32 // sorted bag indices whose kernel contains v
 
 	pool   *par.Pool
 	stats  Stats
@@ -345,32 +351,35 @@ func (c *Cover) buildMembership() {
 	// on first use (many consumers only need Assign/Bag/kernels).
 }
 
-// memberStore lazily builds the Storing-Theorem membership structure. The
-// sync.Once makes the lazy initialization safe for concurrent readers
-// (Contains/NextInBag may be called from parallel query threads). A store
-// installed by FromParts before first use (snapshot restore happens
-// single-threaded, before the cover is shared) short-circuits the build.
+// memberStore lazily builds the Storing-Theorem membership structure.
+// Double-checked locking makes the lazy initialization safe for concurrent
+// readers (Contains/NextInBag may be called from parallel query threads).
+// A store installed by FromParts or Patch before first use short-circuits
+// the build.
 func (c *Cover) memberStore() *store.Store {
-	c.membersOnce.Do(func() {
-		if c.members != nil {
-			return
+	if m := c.members.Load(); m != nil {
+		return m
+	}
+	c.membersMu.Lock()
+	defer c.membersMu.Unlock()
+	if m := c.members.Load(); m != nil {
+		return m
+	}
+	u := c.g.N()
+	if len(c.bags) > u {
+		u = len(c.bags)
+	}
+	if u < 2 {
+		u = 2
+	}
+	m := store.New(u, 2, Epsilon)
+	for i, bag := range c.bags {
+		for _, v := range bag {
+			m.Set([]int{i, v}, 1)
 		}
-		u := c.g.N()
-		if len(c.bags) > u {
-			u = len(c.bags)
-		}
-		if u < 2 {
-			u = 2
-		}
-		m := store.New(u, 2, Epsilon)
-		for i, bag := range c.bags {
-			for _, v := range bag {
-				m.Set([]int{i, v}, 1)
-			}
-		}
-		c.members = m
-	})
-	return c.members
+	}
+	c.members.Store(m)
+	return m
 }
 
 // Stats returns construction statistics.
@@ -557,28 +566,31 @@ func (c *Cover) KernelContains(i int, v graph.V) bool {
 
 // kernelMemberStore lazily builds the Storing-Theorem kernel-membership
 // structure; like memberStore it defers to a store installed by a
-// snapshot restore.
+// snapshot restore or by Patch.
 func (c *Cover) kernelMemberStore() *store.Store {
-	c.kernelStoreOnce.Do(func() {
-		if c.kernelStore != nil {
-			return
+	if ks := c.kernelStore.Load(); ks != nil {
+		return ks
+	}
+	c.kernelStoreMu.Lock()
+	defer c.kernelStoreMu.Unlock()
+	if ks := c.kernelStore.Load(); ks != nil {
+		return ks
+	}
+	u := c.g.N()
+	if len(c.bags) > u {
+		u = len(c.bags)
+	}
+	if u < 2 {
+		u = 2
+	}
+	ks := store.New(u, 2, Epsilon)
+	for i, kern := range c.kernels {
+		for _, v := range kern {
+			ks.Set([]int{i, v}, 1)
 		}
-		u := c.g.N()
-		if len(c.bags) > u {
-			u = len(c.bags)
-		}
-		if u < 2 {
-			u = 2
-		}
-		ks := store.New(u, 2, Epsilon)
-		for i, kern := range c.kernels {
-			for _, v := range kern {
-				ks.Set([]int{i, v}, 1)
-			}
-		}
-		c.kernelStore = ks
-	})
-	return c.kernelStore
+	}
+	c.kernelStore.Store(ks)
+	return ks
 }
 
 // MemberStore returns the Storing-Theorem bag-membership structure,

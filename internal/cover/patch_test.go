@@ -1,0 +1,238 @@
+package cover
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteKernel computes K_p(X) = {a ∈ X : N_p^{G[X]}(a) ⊆ X ... } directly
+// from the definition used throughout: a is in the kernel iff its distance
+// inside G[X] to the bag boundary exceeds p (equivalently, every vertex
+// within p of a inside G[X] is interior). This mirrors bagKernel but goes
+// through an independent per-vertex BFS, so a patch bug cannot cancel out.
+func bruteKernel(g *graph.Graph, bag []graph.V, p int) []graph.V {
+	inBag := map[graph.V]bool{}
+	for _, v := range bag {
+		inBag[v] = true
+	}
+	boundary := map[graph.V]bool{}
+	for _, v := range bag {
+		for _, w := range g.Neighbors(v) {
+			if !inBag[int(w)] {
+				boundary[v] = true
+				break
+			}
+		}
+	}
+	var kern []graph.V
+	for _, a := range bag {
+		// BFS inside G[X] from a, truncated at p; a is kernel iff no
+		// boundary vertex within p-1... boundary depth convention: boundary
+		// vertices are at distance 1 from the complement, kernel = depth>p.
+		// Equivalent per-vertex check: min over boundary b of
+		// (dist_{G[X]}(a,b) + 1) > p.
+		dist := map[graph.V]int{a: 0}
+		queue := []graph.V{a}
+		ok := !boundary[a] || p < 1
+		if boundary[a] && p >= 1 {
+			kernAppendIfOK(&kern, a, false)
+			continue
+		}
+		for head := 0; head < len(queue) && ok; head++ {
+			v := queue[head]
+			if dist[v] >= p-1 {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if !inBag[int(w)] {
+					continue
+				}
+				if _, seen := dist[int(w)]; seen {
+					continue
+				}
+				dist[int(w)] = dist[v] + 1
+				if boundary[int(w)] && dist[int(w)]+1 <= p {
+					ok = false
+					break
+				}
+				queue = append(queue, int(w))
+			}
+		}
+		kernAppendIfOK(&kern, a, ok)
+	}
+	return kern
+}
+
+func kernAppendIfOK(kern *[]graph.V, a graph.V, ok bool) {
+	if ok {
+		*kern = append(*kern, a)
+	}
+}
+
+func edgeEditBatch(rng *rand.Rand, g *graph.Graph, count int) ([]graph.Edit, []graph.V) {
+	var edits []graph.Edit
+	var srcs []graph.V
+	seen := map[graph.V]bool{}
+	for len(edits) < count {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		op := graph.AddEdge
+		if g.HasEdge(u, v) || rng.Intn(2) == 0 {
+			op = graph.RemoveEdge
+		}
+		edits = append(edits, graph.Edit{Op: op, U: u, V: v})
+		for _, w := range []graph.V{u, v} {
+			if !seen[w] {
+				seen[w] = true
+				srcs = append(srcs, w)
+			}
+		}
+	}
+	sort.Ints(srcs)
+	return edits, srcs
+}
+
+// TestPatchDifferential: a patched cover of the edited graph satisfies the
+// cover axioms (Validate brute-forces containment and bag radius) and its
+// kernels are exactly the true kernels of every bag in the new graph —
+// the property the skip pointers' soundness proof rests on.
+func TestPatchDifferential(t *testing.T) {
+	for _, class := range []gen.Class{gen.Path, gen.Grid, gen.RandomTree, gen.BoundedDegree} {
+		g := gen.Generate(class, 300, gen.Options{Seed: 23})
+		for _, r := range []int{1, 2} {
+			cov := Compute(g, r)
+			cov.ComputeKernels(r)
+			rng := rand.New(rand.NewSource(int64(r) * 7))
+			for trial := 0; trial < 8; trial++ {
+				edits, srcs := edgeEditBatch(rng, g, 1+rng.Intn(4))
+				gNew, err := graph.Patch(g, edits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, info, ok := cov.Patch(g, gNew, srcs)
+				if !ok {
+					continue // avalanche bail: caller rebuilds
+				}
+				if err := out.Validate(); err != nil {
+					t.Fatalf("%s r=%d trial %d: patched cover invalid: %v", class, r, trial, err)
+				}
+				// Exact kernels everywhere, including new bags.
+				for i := 0; i < out.NumBags(); i++ {
+					want := bruteKernel(gNew, out.Bag(i), r)
+					got := out.Kernel(i)
+					if len(want) == 0 && len(got) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s r=%d trial %d: bag %d kernel = %v, want %v",
+							class, r, trial, i, got, want)
+					}
+				}
+				// kernelOf inverse stays consistent.
+				for v := 0; v < gNew.N(); v++ {
+					for _, b := range out.KernelsOf(v) {
+						if !containsSorted(out.Kernel(int(b)), v) {
+							t.Fatalf("kernelOf[%d] lists bag %d but kernel misses it", v, b)
+						}
+					}
+				}
+				// KernelDelta completeness: vertices outside it keep their
+				// kernel lists verbatim (restricted to preexisting bags they
+				// already had — new-bag members are all inside the delta).
+				inDelta := map[graph.V]bool{}
+				for _, v := range info.KernelDelta {
+					inDelta[v] = true
+				}
+				for v := 0; v < gNew.N(); v++ {
+					if inDelta[v] {
+						continue
+					}
+					if !reflect.DeepEqual(cov.KernelsOf(v), out.KernelsOf(v)) {
+						t.Fatalf("vertex %d outside KernelDelta changed kernels: %v -> %v",
+							v, cov.KernelsOf(v), out.KernelsOf(v))
+					}
+				}
+				// The original cover is untouched.
+				if err := cov.Validate(); err != nil {
+					t.Fatalf("patch corrupted the source cover: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchStores: materialized Storing-Theorem structures are cloned and
+// delta-updated (Theorem 3.1 Set/Delete), and answer membership queries
+// for the patched cover exactly.
+func TestPatchStores(t *testing.T) {
+	g := gen.Generate(gen.Grid, 225, gen.Options{Seed: 4})
+	cov := Compute(g, 2)
+	cov.ComputeKernels(2)
+	// Materialize both stores pre-patch so Patch exercises Clone+delta.
+	cov.MemberStore()
+	cov.KernelStore()
+	rng := rand.New(rand.NewSource(9))
+	edits, srcs := edgeEditBatch(rng, g, 3)
+	gNew, err := graph.Patch(g, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, ok := cov.Patch(g, gNew, srcs)
+	if !ok {
+		t.Skip("patch refused (avalanche)")
+	}
+	for i := 0; i < out.NumBags(); i++ {
+		inBag := map[graph.V]bool{}
+		for _, v := range out.Bag(i) {
+			inBag[v] = true
+		}
+		inKern := map[graph.V]bool{}
+		for _, v := range out.Kernel(i) {
+			inKern[v] = true
+		}
+		for v := 0; v < gNew.N(); v++ {
+			if out.Contains(i, v) != inBag[v] {
+				t.Fatalf("store Contains(%d,%d) = %v, want %v", i, v, !inBag[v], inBag[v])
+			}
+			if out.KernelContains(i, v) != inKern[v] {
+				t.Fatalf("store KernelContains(%d,%d) = %v, want %v", i, v, !inKern[v], inKern[v])
+			}
+		}
+	}
+	// And the old cover's stores still answer for the old structure.
+	for i := 0; i < cov.NumBags(); i++ {
+		for _, v := range cov.Bag(i) {
+			if !cov.Contains(i, v) {
+				t.Fatalf("old store lost member (%d,%d)", i, v)
+			}
+		}
+	}
+}
+
+// TestPatchColorOnly: empty source list shares everything.
+func TestPatchColorOnly(t *testing.T) {
+	g := gen.Generate(gen.Path, 100, gen.Options{Seed: 1, Colors: 1})
+	cov := Compute(g, 2)
+	cov.ComputeKernels(2)
+	gNew, err := graph.Patch(g, []graph.Edit{{Op: graph.AddColor, U: 5, Color: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, info, ok := cov.Patch(g, gNew, nil)
+	if !ok || len(info.NewBags) != 0 || len(info.KernelDelta) != 0 {
+		t.Fatalf("color-only patch: ok=%v info=%+v", ok, info)
+	}
+	if out.NumBags() != cov.NumBags() {
+		t.Fatal("color-only patch changed the bag set")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -199,7 +199,7 @@ func FromPartsObs(g *graph.Graph, p Parts, reg *obs.Registry) (*Cover, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cover: member store: %w", err)
 		}
-		c.members = ms
+		c.members.Store(ms)
 	}
 	if p.KernelStore != nil {
 		if c.kernelOf == nil {
@@ -209,7 +209,7 @@ func FromPartsObs(g *graph.Graph, p Parts, reg *obs.Registry) (*Cover, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cover: kernel store: %w", err)
 		}
-		c.kernelStore = ks
+		c.kernelStore.Store(ks)
 	}
 	return c, nil
 }

@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Patch derives the distance index of the edited graph gNew from ix,
+// recomputing only what the edits can reach. sources are the vertices
+// whose incident edges changed (edit endpoints); gOld is the graph ix was
+// built on. ok=false means the layout cannot be patched locally (the
+// recursive splitter layout, or a layout transition such as an edgeless
+// graph gaining edges) and the caller must rebuild with New — correctness
+// over cleverness, exactly as the budget fallbacks of the builder.
+//
+// The patchable layouts:
+//
+//   - smallTable (the bounded-ball fast path — the whole index on grids
+//     and bounded-degree graphs): dist_G(x, ·) truncated at R changes only
+//     for x within R of a source in the old or new graph, so those CSR
+//     rows are recomputed on gNew and spliced between the untouched rows.
+//     Cost O(n + Σ_{x∈A} ‖N_R(x)‖) for the affected set A — the paper's
+//     n^ε update regime when balls are bounded.
+//   - fallback (on-demand BFS): nothing is precomputed; the patched index
+//     is a fresh BFS pool over gNew.
+//
+// Color edits never reach this function (distances are color-blind); the
+// caller passes only edge-edit endpoints.
+func Patch(ix *Index, gOld, gNew *graph.Graph, sources []graph.V) (*Index, bool) {
+	if gNew.N() != gOld.N() {
+		return nil, false
+	}
+	switch {
+	case ix.fallback != nil:
+		out := &Index{g: gNew, R: ix.R, stats: ix.stats}
+		out.fallback = newBFSPool(gNew)
+		return out, true
+	case ix.small != nil:
+		if len(sources) == 0 {
+			// Color-only mutation batches: distances are untouched; share
+			// the table outright.
+			out := &Index{g: gNew, R: ix.R, small: ix.small, stats: ix.stats}
+			return out, true
+		}
+		tbl, ok := patchSmallTable(ix.small, gOld, gNew, ix.R, sources)
+		if !ok {
+			return nil, false
+		}
+		return &Index{g: gNew, R: ix.R, small: tbl, stats: ix.stats}, true
+	case ix.edgeless:
+		if gNew.M() == 0 {
+			out := &Index{g: gNew, R: ix.R, edgeless: true, stats: ix.stats}
+			return out, true
+		}
+		return nil, false // layout transition: rebuild
+	default:
+		return nil, false // recursive splitter layout: rebuild
+	}
+}
+
+// patchSmallTable recomputes the ball rows of every vertex within R of a
+// source (in the old or the new graph) and splices them into a new CSR
+// table; rows of unaffected vertices are copied verbatim, so the result is
+// byte-identical to newSmallTable(gNew, R).
+func patchSmallTable(t *smallTable, gOld, gNew *graph.Graph, r int, sources []graph.V) (*smallTable, bool) {
+	n := gNew.N()
+	affected := make([]bool, n)
+	count := 0
+	mark := func(bfs *graph.BFS) {
+		for _, w := range bfs.BallMulti(sources, r) {
+			if !affected[w] {
+				affected[w] = true
+				count++
+			}
+		}
+	}
+	mark(graph.NewBFS(gOld))
+	mark(graph.NewBFS(gNew))
+	// An edit avalanche touching most rows is no cheaper than a rebuild;
+	// bail out and let the caller take the builder path (which also keeps
+	// the 24·‖G‖ cell-cap decision of the fast path authoritative).
+	if count > n/2 {
+		return nil, false
+	}
+
+	// Fresh rows for the affected vertices, in gNew.
+	bfs := graph.NewBFS(gNew)
+	type pair struct {
+		v int32
+		d int8
+	}
+	rows := make(map[graph.V][]pair, count)
+	var scratch []pair
+	for v := 0; v < n; v++ {
+		if !affected[v] {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, w := range bfs.Ball(v, r) {
+			scratch = append(scratch, pair{w, int8(bfs.Dist(int(w)))})
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].v < scratch[j].v })
+		rows[v] = append([]pair(nil), scratch...)
+	}
+
+	out := &smallTable{off: make([]int32, n+1)}
+	total := len(t.ball)
+	for v := 0; v < n; v++ { //fod:sorted — reads rows by ascending vertex id, not map order
+		if affected[v] {
+			total += len(rows[v]) - int(t.off[v+1]-t.off[v])
+		}
+	}
+	out.ball = make([]int32, 0, total)
+	out.d = make([]int8, 0, total)
+	for v := 0; v < n; v++ { //fod:sorted — reads rows by ascending vertex id, not map order
+		out.off[v] = int32(len(out.ball))
+		if !affected[v] {
+			lo, hi := t.off[v], t.off[v+1]
+			out.ball = append(out.ball, t.ball[lo:hi]...)
+			out.d = append(out.d, t.d[lo:hi]...)
+			continue
+		}
+		for _, p := range rows[v] {
+			out.ball = append(out.ball, p.v)
+			out.d = append(out.d, p.d)
+		}
+	}
+	out.off[n] = int32(len(out.ball))
+	return out, true
+}

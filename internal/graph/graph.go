@@ -116,6 +116,7 @@ func (b *Builder) Build() *Graph {
 	g.adj = out
 	g.m = len(out) / 2
 	g.colors = make([]Bitset, b.n)
+	//fod:sorted — each key fills its own g.colors slot; order-free
 	for v, cs := range b.cols {
 		bs := NewBitset(b.ncol)
 		for _, c := range cs {

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuildReference applies edits to an explicit edge/color model and
+// rebuilds through the Builder — the ground truth Patch must match
+// byte-for-byte.
+func rebuildReference(g *Graph, edits []Edit) *Graph {
+	type pair struct{ u, v V }
+	edges := map[pair]bool{}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v < int(w) {
+				edges[pair{v, int(w)}] = true
+			}
+		}
+	}
+	colors := make([]map[Color]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		colors[v] = map[Color]bool{}
+		for c := 0; c < g.NumColors(); c++ {
+			if g.HasColor(v, c) {
+				colors[v][c] = true
+			}
+		}
+	}
+	for _, e := range edits {
+		switch e.Op {
+		case AddEdge:
+			if e.U != e.V {
+				u, v := e.U, e.V
+				if u > v {
+					u, v = v, u
+				}
+				edges[pair{u, v}] = true
+			}
+		case RemoveEdge:
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			delete(edges, pair{u, v})
+		case AddColor:
+			colors[e.U][e.Color] = true
+		case RemoveColor:
+			delete(colors[e.U], e.Color)
+		}
+	}
+	b := NewBuilder(g.N(), g.NumColors())
+	for e := range edges { //fod:sorted — Builder sorts and dedups rows itself
+		b.AddEdge(e.u, e.v)
+	}
+	for v, cs := range colors {
+		for c := range cs { //fod:sorted — bitset writes commute
+			b.SetColor(v, c)
+		}
+	}
+	return b.Build()
+}
+
+func randomEdits(rng *rand.Rand, n, ncol, count int) []Edit {
+	edits := make([]Edit, count)
+	for i := range edits {
+		op := EditOp(rng.Intn(4))
+		e := Edit{Op: op, U: rng.Intn(n)}
+		if op == AddEdge || op == RemoveEdge {
+			e.V = rng.Intn(n)
+		} else if ncol > 0 {
+			e.Color = rng.Intn(ncol)
+		} else {
+			e.Op = AddEdge
+			e.V = rng.Intn(n)
+		}
+		edits[i] = e
+	}
+	return edits
+}
+
+func graphsIdentical(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("dims: got n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	if !reflect.DeepEqual(got.off, want.off) {
+		t.Fatalf("offset arrays differ")
+	}
+	if !reflect.DeepEqual(got.adj, want.adj) {
+		t.Fatalf("adjacency arrays differ")
+	}
+	if !reflect.DeepEqual(got.colors, want.colors) {
+		t.Fatalf("color sets differ: got %v want %v", got.colors, want.colors)
+	}
+}
+
+// TestPatchDifferential: Patch ≡ rebuild-from-scratch on random edit
+// batches, byte-for-byte (CSR arrays and color bitsets), across densities.
+func TestPatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		ncol := rng.Intn(3)
+		b := NewBuilder(n, ncol)
+		for i := 0; i < rng.Intn(3*n); i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for v := 0; v < n; v++ {
+			for c := 0; c < ncol; c++ {
+				if rng.Intn(3) == 0 {
+					b.SetColor(v, c)
+				}
+			}
+		}
+		g := b.Build()
+		edits := randomEdits(rng, n, ncol, 1+rng.Intn(8))
+		got, err := Patch(g, edits)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		graphsIdentical(t, got, rebuildReference(g, edits))
+	}
+}
+
+// TestPatchLeavesOriginal: the source graph is untouched by a patch, even
+// through shared backing (copy-on-write discipline).
+func TestPatchLeavesOriginal(t *testing.T) {
+	b := NewBuilder(4, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetColor(2, 0)
+	g := b.Build()
+	snapAdj := append([]int32(nil), g.adj...)
+	_, err := Patch(g, []Edit{
+		{Op: RemoveEdge, U: 0, V: 1},
+		{Op: AddEdge, U: 2, V: 3},
+		{Op: AddColor, U: 0, Color: 0},
+		{Op: RemoveColor, U: 2, Color: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.adj, snapAdj) {
+		t.Fatal("patch mutated the source adjacency")
+	}
+	if g.HasColor(0, 0) || !g.HasColor(2, 0) {
+		t.Fatal("patch mutated the source colors")
+	}
+}
+
+// TestPatchNoOps: self-loops, re-adding present edges, removing absent
+// ones, and add-then-remove pairs all net out exactly.
+func TestPatchNoOps(t *testing.T) {
+	b := NewBuilder(3, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	got, err := Patch(g, []Edit{
+		{Op: AddEdge, U: 1, V: 1},    // self-loop
+		{Op: AddEdge, U: 0, V: 1},    // present
+		{Op: RemoveEdge, U: 1, V: 2}, // absent
+		{Op: AddEdge, U: 0, V: 2},    // added…
+		{Op: RemoveEdge, U: 2, V: 0}, // …then removed (later wins)
+		{Op: RemoveEdge, U: 0, V: 1}, // removed…
+		{Op: AddEdge, U: 1, V: 0},    // …then restored
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIdentical(t, got, g)
+}
+
+func TestPatchValidation(t *testing.T) {
+	g := NewBuilder(3, 1).Build()
+	for _, bad := range []Edit{
+		{Op: AddEdge, U: -1, V: 0},
+		{Op: AddEdge, U: 0, V: 3},
+		{Op: AddColor, U: 0, Color: 1},
+		{Op: AddColor, U: 3, Color: 0},
+		{Op: EditOp(9), U: 0},
+	} {
+		if _, err := Patch(g, []Edit{bad}); err == nil {
+			t.Fatalf("edit %+v: expected validation error", bad)
+		}
+	}
+}
+
+func TestEditOpRoundTrip(t *testing.T) {
+	for _, op := range []EditOp{AddEdge, RemoveEdge, AddColor, RemoveColor} {
+		got, err := ParseEditOp(op.String())
+		if err != nil || got != op {
+			t.Fatalf("round trip %v: got %v, %v", op, got, err)
+		}
+	}
+	if _, err := ParseEditOp("bogus"); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+}

@@ -11,11 +11,15 @@ import (
 // preprocessing pipeline guarantees a parallel build byte-identical to the
 // sequential one, and every structure the answering phase reads (starter
 // lists, skip pointers, covers, distance indexes) is compared across
-// runs by the differential test harness.
+// runs by the differential test harness. internal/graph joined the scope
+// with the mutation layer: Patch promises a patched graph byte-identical
+// to rebuilding the same edge and color sets, so its folds over edit
+// deltas are determinism-bearing too.
 var mapOrderScope = []string{
 	"internal/core",
 	"internal/cover",
 	"internal/dist",
+	"internal/graph",
 	"internal/skip",
 	"internal/store",
 }

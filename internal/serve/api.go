@@ -4,11 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
-// The wire types of the /v1 JSON API. Every error response is the
-// envelope {"error": {"code": ..., "message": ...}} with a matching HTTP
-// status; every success response is one of the *Response types below.
+// The wire types of the /v1 JSON API. Every response — success or failure —
+// is the uniform envelope
+//
+//	{"data": <payload>, "trace_id": "..."}            on success
+//	{"error": {"code": ..., "message": ...}, "trace_id": "..."}  on failure
+//
+// with a matching HTTP status. trace_id is the request's trace (present
+// whenever the server runs with a Tracer), so a client error report can be
+// joined against /debug/traces and the structured log without guesswork.
+// The payload of a success is one of the *Response types below.
 
 // QueryRequest registers (and warms) a query against a loaded graph.
 type QueryRequest struct {
@@ -28,6 +37,9 @@ type QueryResponse struct {
 	Graph     string `json:"graph"`
 	Canonical string `json:"canonical"`
 	Arity     int    `json:"arity"`
+	// Version is the graph version the warmed index answers over (the
+	// head at registration time).
+	Version int `json:"version"`
 	// Cached reports whether the index was already resident; BuildNS is
 	// the wall time this request spent obtaining it (≈0 on a cache hit,
 	// shared across concurrent requests by singleflight on a miss).
@@ -37,15 +49,21 @@ type QueryResponse struct {
 
 // EnumerateResponse is one page of the solution stream in lexicographic
 // order. NextCursor is opaque; pass it back to /v1/enumerate to resume
-// after the last tuple of this page in constant time (Theorem 2.3). Done
-// means the stream is exhausted (NextCursor empty).
+// after the last tuple of this page in constant time (Theorem 2.3). The
+// cursor pins the graph version this page was served at, so a paging
+// client sees one consistent snapshot even while the graph is mutated
+// under it; resuming a version that has since left the retention window
+// fails with 410 version_gone. Done means the stream is exhausted
+// (NextCursor empty).
 type EnumerateResponse struct {
-	ID         string  `json:"id"`
-	Solutions  [][]int `json:"solutions"`
-	Count      int     `json:"count"`
-	Limit      int     `json:"limit"`
-	NextCursor string  `json:"next_cursor,omitempty"`
-	Done       bool    `json:"done"`
+	ID        string  `json:"id"`
+	Version   int     `json:"version"`
+	Solutions [][]int `json:"solutions"`
+	Count     int     `json:"count"`
+	Limit     int     `json:"limit"`
+
+	NextCursor string `json:"next_cursor,omitempty"`
+	Done       bool   `json:"done"`
 }
 
 // TupleRequest addresses one tuple of a registered query (for /v1/test
@@ -55,9 +73,11 @@ type TupleRequest struct {
 	Tuple []int  `json:"tuple"`
 }
 
-// TestResponse answers Corollary 2.4: is the tuple a solution?
+// TestResponse answers Corollary 2.4: is the tuple a solution? Version is
+// the graph version the answer is valid for (the head at request time).
 type TestResponse struct {
 	ID       string `json:"id"`
+	Version  int    `json:"version"`
 	Tuple    []int  `json:"tuple"`
 	Solution bool   `json:"solution"`
 }
@@ -65,8 +85,44 @@ type TestResponse struct {
 // NextResponse answers Theorem 2.3: the smallest solution ≥ the tuple.
 type NextResponse struct {
 	ID       string `json:"id"`
+	Version  int    `json:"version"`
 	Solution []int  `json:"solution,omitempty"`
 	Found    bool   `json:"found"`
+}
+
+// EditSpec is one graph mutation on the wire. Op is the edit kind
+// ("add_edge", "remove_edge", "add_color", "remove_color"); U and V are
+// vertex ids (V ignored for color edits); Color is the color relation
+// touched by the color edits.
+type EditSpec struct {
+	Op    string `json:"op"`
+	U     int    `json:"u"`
+	V     int    `json:"v,omitempty"`
+	Color int    `json:"color,omitempty"`
+}
+
+// MutateRequest applies an edit batch to a graph. The batch is atomic:
+// either every edit lands and one new version is published, or none are.
+type MutateRequest struct {
+	Graph string     `json:"graph"`
+	Edits []EditSpec `json:"edits"`
+}
+
+// MutateResponse reports the published graph version. NoOp means the batch
+// netted out to the identity (adding present edges, add+remove pairs …):
+// no new version was published and Version is the unchanged head. Indexes
+// over the new version are derived lazily, on first use, from resident
+// older versions via the incremental update path (or rebuilt when the
+// edits are not local).
+type MutateResponse struct {
+	Graph   string `json:"graph"`
+	Version int    `json:"version"`
+	// Applied is the number of edits in the accepted batch.
+	Applied int  `json:"applied"`
+	NoOp    bool `json:"no_op"`
+	// N and M describe the graph after the batch.
+	N int `json:"n"`
+	M int `json:"m"`
 }
 
 // FlushResponse reports how many cached indexes POST /v1/cache/flush
@@ -86,11 +142,16 @@ type StatsResponse struct {
 	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
-// GraphStats describes one loaded graph.
+// GraphStats describes one loaded graph at its current head version.
 type GraphStats struct {
 	N      int `json:"n"`
 	M      int `json:"m"`
 	Colors int `json:"colors"`
+	// Version is the head version (0 until the first effective mutation);
+	// Retained lists the versions currently resumable by cursors, oldest
+	// first, head last.
+	Version  int   `json:"version"`
+	Retained []int `json:"retained"`
 }
 
 // QueryStats describes one registered query.
@@ -103,10 +164,11 @@ type QueryStats struct {
 
 // Error codes of the API.
 const (
-	ErrBadRequest       = "bad_request"       // malformed JSON, bad params, bad tuple
+	ErrBadRequest       = "bad_request"       // malformed JSON, bad params, bad tuple or edit
 	ErrUnknownGraph     = "unknown_graph"     // graph name not loaded
 	ErrUnknownQuery     = "unknown_query"     // query id never registered
 	ErrInvalidCursor    = "invalid_cursor"    // cursor undecodable or for another query
+	ErrVersionGone      = "version_gone"      // cursor pins a graph version outside the retention window
 	ErrDeadlineExceeded = "deadline_exceeded" // request deadline hit (build or page)
 	ErrShuttingDown     = "shutting_down"     // server is draining
 	ErrInternal         = "internal"          // build failure or other server error
@@ -117,17 +179,30 @@ type errBody struct {
 	Message string `json:"message"`
 }
 
-type errEnvelope struct {
-	Error errBody `json:"error"`
+// envelope is the uniform response wrapper: exactly one of Data / Error is
+// set; TraceID is present whenever the request ran under a Tracer.
+type envelope struct {
+	Data    any      `json:"data,omitempty"`
+	Error   *errBody `json:"error,omitempty"`
+	TraceID string   `json:"trace_id,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// traceIDFrom recovers the request's trace id for the response envelope
+// (empty without a Tracer).
+func traceIDFrom(r *http.Request) string {
+	if sc := obs.SpanFromContext(r.Context()); sc.Trace != nil {
+		return sc.Trace.ID().String()
+	}
+	return ""
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, env envelope) {
 	// Encode to a buffer first: a marshal failure discovered after
 	// WriteHeader would leave the client a truncated 200 body.
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := enc.Encode(env); err != nil {
 		http.Error(w, `{"error":{"code":"internal","message":"response encoding failed"}}`,
 			http.StatusInternalServerError)
 		return
@@ -137,6 +212,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(buf.Bytes()) //fod:errok — the client hung up; there is no one left to tell
 }
 
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errEnvelope{Error: errBody{Code: code, Message: msg}})
+// writeData answers a successful request with the enveloped payload.
+func writeData(w http.ResponseWriter, r *http.Request, status int, v any) {
+	writeEnvelope(w, status, envelope{Data: v, TraceID: traceIDFrom(r)})
+}
+
+// writeErr answers a failed request with the enveloped error.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeEnvelope(w, status, envelope{Error: &errBody{Code: code, Message: msg}, TraceID: traceIDFrom(r)})
 }

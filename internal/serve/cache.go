@@ -10,10 +10,16 @@ import (
 	"repro/internal/obs"
 )
 
-// cacheKey identifies one index: a graph id and the canonical query text
-// (repro.Query.Canonical, stable under reparsing).
+// cacheKey identifies one index: a graph id, the graph version the index
+// answers over, and the canonical query text (repro.Query.Canonical,
+// stable under reparsing). Version is part of the key because an index is
+// immutable — mutating a graph publishes a new version whose indexes are
+// separate cache entries, derived on first use (see Server.buildIndex);
+// indexes of versions that left the retention window simply age out of
+// the LRU.
 type cacheKey struct {
 	graph     string
+	version   int
 	canonical string
 }
 
@@ -45,6 +51,13 @@ type indexCache struct {
 	loadSnap  func(ctx context.Context, key cacheKey) (*repro.Index, bool)
 	storeSnap func(ctx context.Context, key cacheKey, ix *repro.Index) bool
 
+	// migrate is the incremental tier, consulted after the disk tier and
+	// before a full build: derive the index from a resident index of an
+	// older version of the same graph by replaying the edit log
+	// (Index.ApplyEdits). Like the disk tier it runs inside the flight,
+	// so concurrent misses share one migration.
+	migrate func(ctx context.Context, key cacheKey) (*repro.Index, bool)
+
 	// Owned instruments; registered in the obs registry when present so
 	// /v1/stats and /debug/metrics read the same numbers.
 	hits       obs.Counter
@@ -54,6 +67,7 @@ type indexCache struct {
 	shared     obs.Counter // waiters that joined an existing flight
 	snapHits   obs.Counter // memory misses served from the disk tier
 	snapWrites obs.Counter // snapshots written back after a build
+	migrations obs.Counter // misses served by ApplyEdits from an older version
 	size       obs.Gauge
 }
 
@@ -92,6 +106,7 @@ func newIndexCache(baseCtx context.Context, capacity int, reg *obs.Registry,
 		reg.RegisterCounter("serve.cache.flight_shared", &c.shared)
 		reg.RegisterCounter("serve.cache.snapshot_hits", &c.snapHits)
 		reg.RegisterCounter("serve.cache.snapshot_writes", &c.snapWrites)
+		reg.RegisterCounter("serve.cache.migrations", &c.migrations)
 		reg.RegisterGauge("serve.cache.size", &c.size)
 	}
 	return c
@@ -106,6 +121,19 @@ func (c *indexCache) Get(ctx context.Context, key cacheKey) (ix *repro.Index, hi
 	ix, hit, err = c.lookup(sp.Attach(ctx), key)
 	sp.End()
 	return ix, hit, err
+}
+
+// Peek returns the resident index for key without building, blocking on a
+// flight, or touching the LRU order. Used by the migration path: a miss on
+// (graph, v, q) first peeks for (graph, v-1, q) and replays the edit log
+// instead of rebuilding.
+func (c *indexCache) Peek(key cacheKey) (*repro.Index, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*cacheEntry).ix, true
+	}
+	return nil, false
 }
 
 func (c *indexCache) lookup(ctx context.Context, key cacheKey) (ix *repro.Index, hit bool, err error) {
@@ -167,7 +195,17 @@ func (c *indexCache) run(ctx context.Context, key cacheKey, f *flight) {
 			c.snapHits.Inc()
 		}
 	}
-	if !fromDisk {
+	migrated := false
+	if !fromDisk && c.migrate != nil {
+		sp := c.reg.StartSpan(ctx, "cache.migrate")
+		derived, ok := c.migrate(sp.Attach(ctx), key)
+		sp.End()
+		if ok {
+			ix, migrated = derived, true
+			c.migrations.Inc()
+		}
+	}
+	if !fromDisk && !migrated {
 		c.builds.Inc()
 		sp := c.reg.StartSpan(ctx, "cache.build")
 		ix, err = c.build(sp.Attach(ctx), key)
@@ -235,6 +273,10 @@ type CacheStats struct {
 	// freshly built indexes. Both stay 0 without Config.SnapshotDir.
 	SnapshotHits   int64 `json:"snapshot_hits"`
 	SnapshotWrites int64 `json:"snapshot_writes"`
+	// Migrations counts misses served by replaying an edit log onto a
+	// resident index of an older graph version (ApplyEdits) instead of
+	// building from scratch.
+	Migrations int64 `json:"migrations"`
 }
 
 func (c *indexCache) Stats() CacheStats {
@@ -251,5 +293,6 @@ func (c *indexCache) Stats() CacheStats {
 		FlightShared:   c.shared.Load(),
 		SnapshotHits:   c.snapHits.Load(),
 		SnapshotWrites: c.snapWrites.Load(),
+		Migrations:     c.migrations.Load(),
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"sync"
@@ -80,7 +81,7 @@ func TestCacheSingleflightSharesOneBuild(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, _, err := c.Get(context.Background(), cacheKey{"g", "q"})
+			got, _, err := c.Get(context.Background(), cacheKey{graph: "g", canonical: "q"})
 			if err != nil || got != ix {
 				t.Errorf("Get: %v %v", got, err)
 			}
@@ -120,7 +121,7 @@ func TestCacheBuildCanceledWhenAllWaitersLeave(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, _, err := c.Get(ctx, cacheKey{"g", "q"})
+	_, _, err := c.Get(ctx, cacheKey{graph: "g", canonical: "q"})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("waiter error %v, want DeadlineExceeded", err)
 	}
@@ -130,7 +131,7 @@ func TestCacheBuildCanceledWhenAllWaitersLeave(t *testing.T) {
 		t.Fatal("build context was never canceled")
 	}
 	// Retry rebuilds (the canceled flight did not poison the key).
-	got, _, err := c.Get(context.Background(), cacheKey{"g", "q"})
+	got, _, err := c.Get(context.Background(), cacheKey{graph: "g", canonical: "q"})
 	if err != nil || got != ix {
 		t.Fatalf("retry: %v %v", got, err)
 	}
@@ -157,14 +158,14 @@ func TestCacheAbandonedSuccessIsCached(t *testing.T) {
 		<-started
 		cancel() // abandon the only waiter
 	}()
-	if _, _, err := c.Get(ctx, cacheKey{"g", "q"}); !errors.Is(err, context.Canceled) {
+	if _, _, err := c.Get(ctx, cacheKey{graph: "g", canonical: "q"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("waiter error %v, want Canceled", err)
 	}
 	close(finish)
 	// The orphaned result must become visible as a cache hit.
 	deadline := time.After(2 * time.Second)
 	for {
-		_, hit, err := c.Get(context.Background(), cacheKey{"g", "q"})
+		_, hit, err := c.Get(context.Background(), cacheKey{graph: "g", canonical: "q"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,17 +186,34 @@ func TestCacheAbandonedSuccessIsCached(t *testing.T) {
 
 func TestCursorRoundTrip(t *testing.T) {
 	for _, tup := range [][]int{{0}, {1, 2}, {0, 0, 0}, {999999, 0, 31}} {
-		cur := encodeCursor("abc123", tup)
-		id, got, err := decodeCursor(cur)
-		if err != nil {
-			t.Fatalf("decode(%v): %v", tup, err)
-		}
-		if id != "abc123" || !tupleEqual(got, tup) {
-			t.Fatalf("round trip %v -> %q %v", tup, id, got)
+		for _, ver := range []int{0, 1, 37} {
+			cur := encodeCursor("abc123", ver, tup)
+			id, gotVer, got, err := decodeCursor(cur)
+			if err != nil {
+				t.Fatalf("decode(%v@%d): %v", tup, ver, err)
+			}
+			if id != "abc123" || gotVer != ver || !tupleEqual(got, tup) {
+				t.Fatalf("round trip %v@%d -> %q @%d %v", tup, ver, id, gotVer, got)
+			}
 		}
 	}
-	for _, bad := range []string{"", "!!!", "djEgYQ", encodeCursor("q", nil)} {
-		if _, _, err := decodeCursor(bad); err == nil {
+	// Legacy v1 cursors ("v1 <id> <tuple...>") decode to cursorHead: they
+	// predate versioned graphs and resume at the current head.
+	v1 := base64.RawURLEncoding.EncodeToString([]byte("v1 abc123 4 7"))
+	id, ver, got, err := decodeCursor(v1)
+	if err != nil {
+		t.Fatalf("v1 cursor rejected: %v", err)
+	}
+	if id != "abc123" || ver != cursorHead || !tupleEqual(got, []int{4, 7}) {
+		t.Fatalf("v1 cursor decoded to %q @%d %v", id, ver, got)
+	}
+	for _, bad := range []string{
+		"", "!!!", "djEgYQ",
+		encodeCursor("q", 0, nil),                                 // v2 with no tuple
+		base64.RawURLEncoding.EncodeToString([]byte("v2 q -3 1")), // negative version
+		base64.RawURLEncoding.EncodeToString([]byte("v3 q 0 1")),  // unknown format
+	} {
+		if _, _, _, err := decodeCursor(bad); err == nil {
 			t.Fatalf("decode(%q) accepted", bad)
 		}
 	}

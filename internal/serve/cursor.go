@@ -10,23 +10,42 @@ import (
 // A cursor is the pagination token of /v1/enumerate. Because the index
 // answers "smallest solution ≥ ā" in constant time (Theorem 2.3), a
 // cursor needs no server-side state at all: it is just the last tuple the
-// page returned, bound to its query id. Resuming seeks to that tuple and
-// skips it — constant startup cost per page, at any depth into the
-// stream, even when the cached index was evicted and rebuilt in between
-// (the rebuilt index is identical, and the cursor never referenced the
-// old one).
+// page returned, bound to its query id and — since graphs became mutable —
+// to the graph version the page was served at. Resuming seeks to that
+// tuple and skips it — constant startup cost per page, at any depth into
+// the stream, even when the cached index was evicted and rebuilt in
+// between (the rebuilt index is identical, and the cursor never referenced
+// the old one).
 //
-// Wire format: base64url(raw) of "v1 <query-id> <t0> <t1> ... <tk-1>".
-// The encoding is versioned so a future format can coexist; clients must
-// treat the string as opaque.
+// The pinned version is what makes paging under concurrent mutation sane:
+// every page of one enumeration is served from the same immutable
+// snapshot, so the client sees one consistent lexicographic stream — no
+// skipped or duplicated tuples — however the graph changes mid-stream.
+// Versions are retained for a bounded window; resuming one that has been
+// garbage-collected answers 410 version_gone.
+//
+// Wire format: base64url(raw) of "v2 <query-id> <version> <t0> ... <tk-1>".
+// The previous format "v1 <query-id> <t0> ... <tk-1>" predates versioned
+// graphs and is still accepted; it resumes at the current head (the exact
+// semantics it had when every graph had a single eternal version 0).
+// Clients must treat the string as opaque.
 
-const cursorVersion = "v1"
+const (
+	cursorV1 = "v1"
+	cursorV2 = "v2"
+)
 
-func encodeCursor(queryID string, last []int) string {
+// cursorHead is the decoded version of a v1 cursor: "whatever the head is
+// now", the pre-mutation behavior.
+const cursorHead = -1
+
+func encodeCursor(queryID string, version int, last []int) string {
 	var b strings.Builder
-	b.WriteString(cursorVersion)
+	b.WriteString(cursorV2)
 	b.WriteByte(' ')
 	b.WriteString(queryID)
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(version))
 	for _, v := range last {
 		b.WriteByte(' ')
 		b.WriteString(strconv.Itoa(v))
@@ -34,23 +53,34 @@ func encodeCursor(queryID string, last []int) string {
 	return base64.RawURLEncoding.EncodeToString([]byte(b.String()))
 }
 
-func decodeCursor(s string) (queryID string, last []int, err error) {
+// decodeCursor parses either cursor format. version is cursorHead for a
+// legacy v1 cursor.
+func decodeCursor(s string) (queryID string, version int, last []int, err error) {
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
-		return "", nil, fmt.Errorf("cursor is not base64url: %v", err)
+		return "", 0, nil, fmt.Errorf("cursor is not base64url: %v", err)
 	}
 	fields := strings.Fields(string(raw))
-	if len(fields) < 3 || fields[0] != cursorVersion {
-		return "", nil, fmt.Errorf("cursor has unsupported format")
+	var tuple []string
+	switch {
+	case len(fields) >= 4 && fields[0] == cursorV2:
+		version, err = strconv.Atoi(fields[2])
+		if err != nil || version < 0 {
+			return "", 0, nil, fmt.Errorf("cursor version %q is not a graph version", fields[2])
+		}
+		queryID, tuple = fields[1], fields[3:]
+	case len(fields) >= 3 && fields[0] == cursorV1:
+		queryID, version, tuple = fields[1], cursorHead, fields[2:]
+	default:
+		return "", 0, nil, fmt.Errorf("cursor has unsupported format")
 	}
-	queryID = fields[1]
-	last = make([]int, len(fields)-2)
-	for i, f := range fields[2:] {
+	last = make([]int, len(tuple))
+	for i, f := range tuple {
 		v, err := strconv.Atoi(f)
 		if err != nil {
-			return "", nil, fmt.Errorf("cursor component %q is not an integer", f)
+			return "", 0, nil, fmt.Errorf("cursor component %q is not an integer", f)
 		}
 		last[i] = v
 	}
-	return queryID, last, nil
+	return queryID, version, last, nil
 }

@@ -57,7 +57,7 @@ func TestColdResumeGuard(t *testing.T) {
 	if len(all.Solutions) < 4*pageSize {
 		t.Fatalf("only %d solutions; guard needs a deeper stream", len(all.Solutions))
 	}
-	deepCursor := encodeCursor(qr.ID, all.Solutions[len(all.Solutions)-pageSize-1])
+	deepCursor := encodeCursor(qr.ID, 0, all.Solutions[len(all.Solutions)-pageSize-1])
 
 	firstURL := fmt.Sprintf("%s/v1/enumerate?query=%s&limit=%d", ts.URL, qr.ID, pageSize)
 	deepURL := fmt.Sprintf("%s/v1/enumerate?cursor=%s&limit=%d", ts.URL, deepCursor, pageSize)

@@ -8,22 +8,37 @@
 // is just the last tuple returned, and resuming costs O(1) wherever the
 // client stopped, even across index eviction and rebuild.
 //
+// Graphs are mutable through POST /v1/mutate (the n^ε update regime of
+// the paper's §3): each effective edit batch publishes a new immutable
+// graph version, indexes are cached per (graph, version, query) and
+// derived from resident older versions by replaying the edit log through
+// Index.ApplyEdits, and cursors pin the version they started on — a
+// paging client keeps reading one consistent snapshot while the head
+// moves, until the version leaves the bounded retention window and
+// resuming answers 410 version_gone.
+//
 // Endpoints:
 //
 //	POST /v1/query          register/compile a query, warm its index
 //	GET  /v1/enumerate      one page of solutions + opaque resume cursor
 //	POST /v1/test           Corollary 2.4: constant-time membership
 //	POST /v1/next           Theorem 2.3: smallest solution ≥ tuple
-//	GET  /v1/stats          graphs, queries, cache, metrics snapshot
+//	POST /v1/mutate         apply an edit batch, publish a new graph version
+//	GET  /v1/stats          graphs (with versions), queries, cache, metrics
 //	POST /v1/cache/flush    drop all cached indexes (ops/testing)
 //	GET  /debug/metrics     obs JSON snapshot (plus /debug/vars, /debug/pprof)
 //
-// Behind the handlers sits an LRU index cache keyed by (graph id,
-// canonical query) with singleflight deduplication: N concurrent requests
-// for the same uncached query trigger exactly one parallel BuildIndexOpt.
-// Every request carries a deadline (default or ?timeout_ms=…, capped)
-// threaded through build and page enumeration; shutdown drains in-flight
-// requests before canceling outstanding builds.
+// Every /v1 response — success or failure — is the uniform envelope
+// {"data": ...} / {"error": {"code", "message"}} plus the request's
+// trace_id; see api.go.
+//
+// Behind the handlers sits an LRU index cache keyed by (graph id, graph
+// version, canonical query) with singleflight deduplication: N concurrent
+// requests for the same uncached query trigger exactly one parallel
+// build (or one edit-log replay). Every request carries a deadline
+// (default or ?timeout_ms=…, capped) threaded through build and page
+// enumeration; shutdown drains in-flight requests before canceling
+// outstanding builds.
 package serve
 
 import (
@@ -44,6 +59,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/snap"
 )
@@ -52,8 +68,14 @@ import (
 // default.
 type Config struct {
 	// Graphs are the served graphs, keyed by the name clients use in
-	// QueryRequest.Graph. The map is read-only after NewServer.
+	// QueryRequest.Graph. Each becomes version 0 of a mutable graph state;
+	// POST /v1/mutate publishes later versions. The map itself is
+	// read-only after NewServer (the set of graph names is fixed).
 	Graphs map[string]*repro.Graph
+	// RetainVersions bounds how many past graph versions stay resumable
+	// by version-pinned cursors after mutations; older versions answer
+	// 410 version_gone. Default repro.DefaultRetainVersions.
+	RetainVersions int
 	// CacheSize bounds the number of resident indexes (LRU beyond it).
 	// Default 8.
 	CacheSize int
@@ -117,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.RetainVersions <= 0 {
+		c.RetainVersions = repro.DefaultRetainVersions
+	}
 	return c
 }
 
@@ -128,6 +153,10 @@ type Server struct {
 	tracer *obs.Tracer
 	log    *slog.Logger
 	cache  *indexCache
+
+	// graphs is the versioned state of every served graph (map read-only
+	// after NewServer; each graphState handles its own synchronization).
+	graphs map[string]*graphState
 
 	mu      sync.Mutex // guards queries
 	queries map[string]*queryEntry
@@ -166,12 +195,17 @@ func NewServer(cfg Config) *Server {
 		reg:     cfg.Metrics,
 		tracer:  cfg.Tracer,
 		log:     cfg.Logger,
+		graphs:  make(map[string]*graphState, len(cfg.Graphs)),
 		queries: make(map[string]*queryEntry),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	for name, g := range cfg.Graphs {
+		s.graphs[name] = newGraphState(name, g, cfg.RetainVersions)
+	}
 	s.tracer.Register(cfg.Metrics)
 	s.cache = newIndexCache(ctx, cfg.CacheSize, cfg.Metrics, s.buildIndex)
+	s.cache.migrate = s.migrateIndex
 	if cfg.SnapshotDir != "" {
 		s.graphFP = make(map[string]string, len(cfg.Graphs))
 		for name, g := range cfg.Graphs {
@@ -199,6 +233,13 @@ func (s *Server) snapshotPath(key cacheKey) string {
 // error classes are counted separately so operators can tell a cold
 // directory from a corrupted one.
 func (s *Server) loadSnapshot(ctx context.Context, key cacheKey) (*repro.Index, bool) {
+	if key.version != 0 {
+		// The disk tier holds only version-0 indexes: snapshot files are
+		// fingerprinted against the graph as configured at startup, and
+		// mutated versions are cheaper to derive by edit-log replay than
+		// to persist (they change with every batch).
+		return nil, false
+	}
 	data, err := os.ReadFile(s.snapshotPath(key))
 	if err != nil {
 		return nil, false // cold tier: no snapshot yet
@@ -242,6 +283,9 @@ func (s *Server) loadSnapshot(ctx context.Context, key cacheKey) (*repro.Index, 
 // Failures are counted and swallowed — the build already succeeded, so
 // the request must not fail because the disk tier is unhappy.
 func (s *Server) writeSnapshot(ctx context.Context, key cacheKey, ix *repro.Index) bool {
+	if key.version != 0 {
+		return false // disk tier is version-0 only; see loadSnapshot
+	}
 	start := time.Now()
 	if err := repro.SaveIndexSnapshotObs(ctx, ix, s.snapshotPath(key), s.reg); err != nil {
 		s.reg.Counter("serve.snapshot.write_errors").Inc()
@@ -272,12 +316,68 @@ func (s *Server) logEvent(ctx context.Context, lvl slog.Level, msg string, attrs
 	s.log.LogAttrs(ctx, lvl, msg, attrs...)
 }
 
-// buildIndex is the cache's build function: it resolves the key back to
-// the registered query and runs the context-bounded parallel build.
+// migrateIndex is the cache's incremental tier: on a miss for
+// (graph, version, query) it looks for a resident index of an older
+// retained version of the same graph and advances it by replaying the
+// intervening edit batches through Index.ApplyEdits, which recomputes
+// only the structure the edits touched — the n^ε update route the
+// mutation layer exists for. ok=false (chain broken, replay failed, no
+// resident ancestor) falls back to a full build.
+func (s *Server) migrateIndex(ctx context.Context, key cacheKey) (*repro.Index, bool) {
+	gs, ok := s.graphs[key.graph]
+	if !ok || key.version == 0 {
+		return nil, false
+	}
+	qid := queryID(key.graph, key.canonical)
+	start := time.Now()
+	for v := key.version - 1; v >= 0; v-- {
+		old, ok := s.cache.Peek(cacheKey{graph: key.graph, version: v, canonical: key.canonical})
+		if !ok {
+			continue
+		}
+		batches, ok := gs.editsSince(v, key.version)
+		if !ok {
+			return nil, false // chain broken: a link left the retention window
+		}
+		ix, err := old, error(nil)
+		for _, batch := range batches {
+			if ix, err = ix.ApplyEdits(ctx, batch); err != nil {
+				break
+			}
+		}
+		if err != nil {
+			s.logEvent(ctx, slog.LevelWarn, "index_migrate_failed",
+				slog.String("graph", key.graph),
+				slog.String("query_id", qid),
+				slog.Int("from_version", v),
+				slog.Int("to_version", key.version),
+				slog.String("error", err.Error()))
+			return nil, false // fall back to a full build
+		}
+		s.logEvent(ctx, slog.LevelInfo, "index_migrate",
+			slog.String("graph", key.graph),
+			slog.String("query_id", qid),
+			slog.Int("from_version", v),
+			slog.Int("to_version", key.version),
+			slog.Int64("dur_us", time.Since(start).Microseconds()))
+		return ix, true
+	}
+	return nil, false
+}
+
+// buildIndex is the cache's build-from-scratch function: it resolves the
+// key back to the registered query and the pinned graph version and runs
+// the context-bounded parallel build.
 func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, error) {
-	g, ok := s.cfg.Graphs[key.graph]
+	gs, ok := s.graphs[key.graph]
 	if !ok {
 		return nil, fmt.Errorf("serve: graph %q disappeared", key.graph)
+	}
+	gv, ok := gs.At(key.version)
+	if !ok {
+		// The version left the retention window between cursor decode and
+		// this flight.
+		return nil, &versionGoneError{graph: key.graph, version: key.version}
 	}
 	s.mu.Lock()
 	var q *repro.Query
@@ -291,21 +391,25 @@ func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, er
 	if q == nil {
 		return nil, fmt.Errorf("serve: query %q not registered", key.canonical)
 	}
+
+	qid := queryID(key.graph, key.canonical)
 	start := time.Now()
-	ix, err := repro.BuildIndexCtx(ctx, g, q, repro.IndexOptions{
+	ix, err := repro.BuildIndexCtx(ctx, gv.g, q, repro.IndexOptions{
 		Parallelism: s.cfg.Parallelism,
 		Metrics:     s.reg,
 	})
 	if err != nil {
 		s.logEvent(ctx, slog.LevelWarn, "index_build_failed",
 			slog.String("graph", key.graph),
-			slog.String("query_id", queryID(key.graph, key.canonical)),
+			slog.String("query_id", qid),
+			slog.Int("version", key.version),
 			slog.String("error", err.Error()))
 		return nil, err
 	}
 	s.logEvent(ctx, slog.LevelInfo, "index_build",
 		slog.String("graph", key.graph),
-		slog.String("query_id", queryID(key.graph, key.canonical)),
+		slog.String("query_id", qid),
+		slog.Int("version", key.version),
 		slog.Int64("dur_us", time.Since(start).Microseconds()))
 	return ix, nil
 }
@@ -324,6 +428,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	mux.HandleFunc("POST /v1/test", s.instrument("test", s.handleTest))
 	mux.HandleFunc("POST /v1/next", s.instrument("next", s.handleNext))
+	mux.HandleFunc("POST /v1/mutate", s.instrument("mutate", s.handleMutate))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /v1/cache/flush", s.instrument("flush", s.handleFlush))
 	if s.reg != nil || s.tracer != nil {
@@ -373,7 +478,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		s.shutMu.RLock()
 		if s.closed {
 			s.shutMu.RUnlock()
-			writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown, "server is draining")
+			writeErr(w, r, http.StatusServiceUnavailable, ErrShuttingDown, "server is draining")
 			return
 		}
 		s.inflight.Add(1)
@@ -472,21 +577,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Graph == "" || req.Query == "" || len(req.Vars) == 0 {
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, "graph, query and vars are required")
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, "graph, query and vars are required")
 		return
 	}
-	if _, ok := s.cfg.Graphs[req.Graph]; !ok {
-		writeErr(w, http.StatusNotFound, ErrUnknownGraph, fmt.Sprintf("graph %q is not loaded", req.Graph))
+	gs, ok := s.graphs[req.Graph]
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, ErrUnknownGraph, fmt.Sprintf("graph %q is not loaded", req.Graph))
 		return
 	}
 	q, err := repro.ParseQuery(req.Query, req.Vars...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
 		return
 	}
 	// Compile now so malformed queries fail at registration, not first use.
 	if _, err := q.Plan(); err != nil {
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
 		return
 	}
 	canonical := q.Canonical()
@@ -500,21 +606,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	// Warm the index through the cache (singleflight dedups concurrent
-	// registrations; a hit returns immediately).
+	// Warm the index at the current head version through the cache
+	// (singleflight dedups concurrent registrations; a hit returns
+	// immediately).
+	gv := gs.Head()
 	start := time.Now()
-	_, cached, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	_, cached, err := s.cache.Get(r.Context(), cacheKey{graph: entry.graph, version: gv.version, canonical: entry.canonical})
 	if err != nil {
-		writeCacheErr(w, err)
+		writeCacheErr(w, r, err)
 		return
 	}
 	wall := time.Since(start)
 
-	writeJSON(w, http.StatusOK, QueryResponse{
+	writeData(w, r, http.StatusOK, QueryResponse{
 		ID:        entry.id,
 		Graph:     entry.graph,
 		Canonical: entry.canonical,
 		Arity:     entry.arity,
+		Version:   gv.version,
 		Cached:    cached,
 		BuildNS:   wall.Nanoseconds(),
 	})
@@ -526,35 +635,49 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	cursor := qs.Get("cursor")
 
 	var start []int
+	version := cursorHead
 	skipFirst := false
 	if cursor != "" {
-		cid, last, err := decodeCursor(cursor)
+		cid, cver, last, err := decodeCursor(cursor)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, ErrInvalidCursor, err.Error())
+			writeErr(w, r, http.StatusBadRequest, ErrInvalidCursor, err.Error())
 			return
 		}
 		if id != "" && id != cid {
-			writeErr(w, http.StatusBadRequest, ErrInvalidCursor, "cursor belongs to a different query")
+			writeErr(w, r, http.StatusBadRequest, ErrInvalidCursor, "cursor belongs to a different query")
 			return
 		}
 		id = cid
+		version = cver
 		start = last
 		skipFirst = true
 	}
 	if id == "" {
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, "query or cursor is required")
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, "query or cursor is required")
 		return
 	}
 	entry, ok := s.lookupQuery(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", id))
+		writeErr(w, r, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", id))
 		return
 	}
-	g := s.cfg.Graphs[entry.graph]
+	// A fresh enumeration (or a legacy v1 cursor) reads the current head;
+	// a v2 cursor stays pinned to the version its stream started on, for
+	// one consistent snapshot across pages — 410 once that version has
+	// been garbage-collected.
+	gs := s.graphs[entry.graph]
+	var gv *graphVersion
+	if version == cursorHead {
+		gv = gs.Head()
+	} else if gv, ok = gs.At(version); !ok {
+		writeErr(w, r, http.StatusGone, ErrVersionGone,
+			fmt.Sprintf("version %d of graph %q is no longer retained; restart the enumeration without a cursor", version, entry.graph))
+		return
+	}
 	if start == nil {
 		start = make([]int, entry.arity)
-	} else if err := validateTuple(start, entry.arity, g.N()); err != nil {
-		writeErr(w, http.StatusBadRequest, ErrInvalidCursor, err.Error())
+	} else if err := validateTuple(start, entry.arity, gv.g.N()); err != nil {
+		writeErr(w, r, http.StatusBadRequest, ErrInvalidCursor, err.Error())
 		return
 	}
 
@@ -562,7 +685,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	if v := qs.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, ErrBadRequest, fmt.Sprintf("bad limit %q", v))
+			writeErr(w, r, http.StatusBadRequest, ErrBadRequest, fmt.Sprintf("bad limit %q", v))
 			return
 		}
 		if n > 0 {
@@ -573,9 +696,9 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		limit = s.cfg.MaxLimit // cap, don't error: the cursor loses nothing
 	}
 
-	ix, _, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	ix, _, err := s.cache.Get(r.Context(), cacheKey{graph: entry.graph, version: gv.version, canonical: entry.canonical})
 	if err != nil {
-		writeCacheErr(w, err)
+		writeCacheErr(w, r, err)
 		return
 	}
 
@@ -590,7 +713,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	for len(sols) < limit {
 		if len(sols)%64 == 0 && ctx.Err() != nil {
 			sp.End()
-			writeCacheErr(w, ctx.Err())
+			writeCacheErr(w, r, ctx.Err())
 			return
 		}
 		sol, ok := it.Next()
@@ -612,66 +735,129 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 
 	resp := EnumerateResponse{
 		ID:        entry.id,
+		Version:   gv.version,
 		Solutions: sols,
 		Count:     len(sols),
 		Limit:     limit,
 		Done:      !it.HasNext(),
 	}
 	if !resp.Done && len(sols) > 0 {
-		resp.NextCursor = encodeCursor(entry.id, sols[len(sols)-1])
+		resp.NextCursor = encodeCursor(entry.id, gv.version, sols[len(sols)-1])
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeData(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
-	entry, tuple, ix, ok := s.tupleEndpoint(w, r)
+	entry, tuple, ix, ver, ok := s.tupleEndpoint(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, TestResponse{ID: entry.id, Tuple: tuple, Solution: ix.Test(tuple)})
+	writeData(w, r, http.StatusOK, TestResponse{ID: entry.id, Version: ver, Tuple: tuple, Solution: ix.Test(tuple)})
 }
 
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
-	entry, tuple, ix, ok := s.tupleEndpoint(w, r)
+	entry, tuple, ix, ver, ok := s.tupleEndpoint(w, r)
 	if !ok {
 		return
 	}
 	sol, found := ix.Next(tuple)
-	writeJSON(w, http.StatusOK, NextResponse{ID: entry.id, Solution: sol, Found: found})
+	writeData(w, r, http.StatusOK, NextResponse{ID: entry.id, Version: ver, Solution: sol, Found: found})
 }
 
 // tupleEndpoint factors the shared decode/validate/index-fetch path of
-// /v1/test and /v1/next.
-func (s *Server) tupleEndpoint(w http.ResponseWriter, r *http.Request) (*queryEntry, []int, *repro.Index, bool) {
+// /v1/test and /v1/next. Point lookups always answer at the current head
+// version (they carry no cursor to pin an older one); the version they
+// answered at is returned for the response.
+func (s *Server) tupleEndpoint(w http.ResponseWriter, r *http.Request) (*queryEntry, []int, *repro.Index, int, bool) {
 	var req TupleRequest
 	if !decodeBody(w, r, &req) {
-		return nil, nil, nil, false
+		return nil, nil, nil, 0, false
 	}
 	entry, ok := s.lookupQuery(req.ID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", req.ID))
-		return nil, nil, nil, false
+		writeErr(w, r, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", req.ID))
+		return nil, nil, nil, 0, false
 	}
-	g := s.cfg.Graphs[entry.graph]
-	if err := validateTuple(req.Tuple, entry.arity, g.N()); err != nil {
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, err.Error())
-		return nil, nil, nil, false
+	gv := s.graphs[entry.graph].Head()
+	if err := validateTuple(req.Tuple, entry.arity, gv.g.N()); err != nil {
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
+		return nil, nil, nil, 0, false
 	}
-	ix, _, err := s.cache.Get(r.Context(), cacheKey{entry.graph, entry.canonical})
+	ix, _, err := s.cache.Get(r.Context(), cacheKey{graph: entry.graph, version: gv.version, canonical: entry.canonical})
 	if err != nil {
-		writeCacheErr(w, err)
-		return nil, nil, nil, false
+		writeCacheErr(w, r, err)
+		return nil, nil, nil, 0, false
 	}
-	return entry, req.Tuple, ix, true
+	return entry, req.Tuple, ix, gv.version, true
+}
+
+// handleMutate applies one edit batch to a graph and publishes the
+// resulting version. The mutation itself is O(patched graph) — indexes
+// over the new version are derived lazily, on first request, from
+// resident older versions through the incremental ApplyEdits path (see
+// buildIndex), so a mutation's cost is never multiplied by the number of
+// registered queries up front.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Graph == "" || len(req.Edits) == 0 {
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, "graph and a non-empty edits batch are required")
+		return
+	}
+	gs, ok := s.graphs[req.Graph]
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, ErrUnknownGraph, fmt.Sprintf("graph %q is not loaded", req.Graph))
+		return
+	}
+	edits := make([]repro.Edit, len(req.Edits))
+	for i, spec := range req.Edits {
+		op, err := graph.ParseEditOp(spec.Op)
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, ErrBadRequest,
+				fmt.Sprintf("edit %d: unknown op %q (want add_edge, remove_edge, add_color or remove_color)", i, spec.Op))
+			return
+		}
+		edits[i] = repro.Edit{Op: op, U: spec.U, V: spec.V, Color: spec.Color}
+	}
+	sp := s.reg.StartSpan(r.Context(), "mutate.publish")
+	gv, noop, err := gs.Mutate(edits)
+	sp.End()
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
+		return
+	}
+	if !noop {
+		s.logEvent(r.Context(), slog.LevelInfo, "graph_mutate",
+			slog.String("graph", req.Graph),
+			slog.Int("version", gv.version),
+			slog.Int("edits", len(edits)))
+	}
+	writeData(w, r, http.StatusOK, MutateResponse{
+		Graph:   req.Graph,
+		Version: gv.version,
+		Applied: len(edits),
+		NoOp:    noop,
+		N:       gv.g.N(),
+		M:       gv.g.M(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Graphs: make(map[string]GraphStats, len(s.cfg.Graphs)),
+		Graphs: make(map[string]GraphStats, len(s.graphs)),
 		Cache:  s.cache.Stats(),
 	}
-	for name, g := range s.cfg.Graphs {
-		resp.Graphs[name] = GraphStats{N: g.N(), M: g.M(), Colors: g.NumColors()}
+	for name, gs := range s.graphs {
+		gv := gs.Head()
+		resp.Graphs[name] = GraphStats{
+			N:        gv.g.N(),
+			M:        gv.g.M(),
+			Colors:   gv.g.NumColors(),
+			Version:  gv.version,
+			Retained: gs.Retained(),
+		}
 	}
 	s.mu.Lock()
 	for _, e := range s.queries {
@@ -687,11 +873,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.Metrics = json.RawMessage(b.String())
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeData(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, FlushResponse{Flushed: s.cache.Flush()})
+	writeData(w, r, http.StatusOK, FlushResponse{Flushed: s.cache.Flush()})
 }
 
 // --- helpers ----------------------------------------------------------
@@ -711,25 +897,29 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeErr(w, http.StatusRequestEntityTooLarge, ErrBadRequest,
+			writeErr(w, r, http.StatusRequestEntityTooLarge, ErrBadRequest,
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
-		writeErr(w, http.StatusBadRequest, ErrBadRequest, "malformed JSON: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, ErrBadRequest, "malformed JSON: "+err.Error())
 		return false
 	}
 	return true
 }
 
 // writeCacheErr maps index-acquisition errors to API errors.
-func writeCacheErr(w http.ResponseWriter, err error) {
+func writeCacheErr(w http.ResponseWriter, r *http.Request, err error) {
+	var gone *versionGoneError
 	switch {
+	case errors.As(err, &gone):
+		writeErr(w, r, http.StatusGone, ErrVersionGone,
+			gone.Error()+"; restart the enumeration without a cursor")
 	case errors.Is(err, context.DeadlineExceeded):
-		writeErr(w, http.StatusGatewayTimeout, ErrDeadlineExceeded, "request deadline exceeded")
+		writeErr(w, r, http.StatusGatewayTimeout, ErrDeadlineExceeded, "request deadline exceeded")
 	case errors.Is(err, context.Canceled):
-		writeErr(w, http.StatusServiceUnavailable, ErrShuttingDown, "request canceled")
+		writeErr(w, r, http.StatusServiceUnavailable, ErrShuttingDown, "request canceled")
 	default:
-		writeErr(w, http.StatusInternalServerError, ErrInternal, err.Error())
+		writeErr(w, r, http.StatusInternalServerError, ErrInternal, err.Error())
 	}
 }
 

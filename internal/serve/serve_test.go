@@ -71,18 +71,39 @@ func getJSON(t *testing.T, url string) (*http.Response, []byte) {
 	return resp, data
 }
 
+// mustDecode unwraps the uniform {data, error, trace_id} envelope and
+// returns the typed payload, failing on error responses.
 func mustDecode[T any](t *testing.T, data []byte) T {
 	t.Helper()
-	var v T
-	if err := json.Unmarshal(data, &v); err != nil {
+	var env struct {
+		Data  T        `json:"data"`
+		Error *errBody `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
 		t.Fatalf("decoding %s: %v", data, err)
 	}
-	return v
+	if env.Error != nil {
+		t.Fatalf("error envelope where data was expected: %s", data)
+	}
+	return env.Data
 }
 
 func errCode(t *testing.T, data []byte) string {
 	t.Helper()
-	return mustDecode[errEnvelope](t, data).Error.Code
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error *errBody        `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	if env.Error == nil {
+		t.Fatalf("success envelope where an error was expected: %s", data)
+	}
+	if len(env.Data) > 0 {
+		t.Fatalf("envelope carries both data and error: %s", data)
+	}
+	return env.Error.Code
 }
 
 // registerQuery registers a query and returns its id.
@@ -175,13 +196,13 @@ func TestEnumerateHappyAndErrors(t *testing.T) {
 	}
 	// Cursor bound to a different query id than ?query=.
 	other := registerQuery(t, ts.URL, "path", "C0(x)", "x")
-	cur := encodeCursor(other.ID, []int{0})
+	cur := encodeCursor(other.ID, 0, []int{0})
 	resp, data = getJSON(t, ts.URL+"/v1/enumerate?query="+qr.ID+"&cursor="+cur)
 	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != ErrInvalidCursor {
 		t.Fatalf("cross-query cursor: status %d, %s", resp.StatusCode, data)
 	}
 	// Cursor with wrong arity.
-	cur = encodeCursor(qr.ID, []int{1, 2, 3})
+	cur = encodeCursor(qr.ID, 0, []int{1, 2, 3})
 	resp, data = getJSON(t, ts.URL+"/v1/enumerate?cursor="+cur)
 	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != ErrInvalidCursor {
 		t.Fatalf("wrong-arity cursor: status %d, %s", resp.StatusCode, data)

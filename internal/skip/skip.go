@@ -48,6 +48,15 @@ type Pointers struct {
 	// than hashing the composite key.
 	table [][]entry
 	size  int
+
+	// Delta overlay (nil on a freshly built table): when a mutation patched
+	// the index, cov/inL/table above stay the *base* version and queries
+	// are answered under newCov/newInL with the correction set delta; see
+	// delta.go.
+	newCov     *cover.Cover
+	newInL     []bool
+	newSortedL []graph.V
+	delta      []int32 // sorted vertices whose eligibility may differ from base
 }
 
 // None is returned by Query when no element qualifies.
@@ -183,6 +192,9 @@ func (p *Pointers) Query(b graph.V, S []int) graph.V {
 			i--
 		}
 		bags[i] = int32(x)
+	}
+	if p.delta != nil {
+		return p.queryDelta(b, bags[:len(S)])
 	}
 	return p.resolve(b, bags[:len(S)])
 }

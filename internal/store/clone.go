@@ -1,0 +1,19 @@
+package store
+
+// Clone returns an independent copy of the store: same contents, separate
+// register file and scratch, so mutations of either side are invisible to
+// the other. This is the copy-on-write primitive of the mutation path —
+// a patched index clones an already-materialized Storing-Theorem structure
+// and then applies the O(n^ε) Set/Delete deltas of Theorem 3.1, instead of
+// re-inserting all |Dom(f)| pairs.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		n: s.n, k: s.k, d: s.d, h: s.h, kh: s.kh,
+		free: s.free, size: s.size,
+		dig1: make([]int, s.kh),
+		dig2: make([]int, s.kh),
+	}
+	c.cells = make([]Cell, len(s.cells), cap(s.cells))
+	copy(c.cells, s.cells)
+	return c
+}

@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRetainVersions is how many past index versions a LiveIndex keeps
+// resumable by default: readers pinned up to that many mutations behind
+// the head can still be served; older versions are garbage-collected and
+// At reports them gone.
+const DefaultRetainVersions = 4
+
+// LiveIndex manages a mutable view over an immutable Index chain — the
+// MVCC write side. Mutations are serialized through the writer lock and
+// publish a new immutable snapshot with one atomic pointer swap; readers
+// call Snapshot (wait-free) and keep using the returned *Index for as long
+// as they like — its answers never change, whatever the writer does
+// (snapshot isolation; unchanged sections are structurally shared between
+// versions, so a snapshot is cheap to keep).
+//
+// A bounded window of past versions (retain, default
+// DefaultRetainVersions) stays addressable through At, which is what lets
+// the serving layer resume version-pinned cursors across mutations;
+// versions that fall out of the window are released to the garbage
+// collector and At reports ok=false for them (the serve layer's
+// 410 version_gone).
+type LiveIndex struct {
+	head atomic.Pointer[Index] // current version, wait-free for readers
+
+	mu       sync.Mutex // serializes writers
+	retained []*Index   // ring of past versions, oldest first (excludes head)
+	retain   int
+}
+
+// NewLiveIndex wraps a freshly built (or restored) index as the live
+// head. retain ≤ 0 selects DefaultRetainVersions.
+func NewLiveIndex(ix *Index, retain int) *LiveIndex {
+	if retain <= 0 {
+		retain = DefaultRetainVersions
+	}
+	li := &LiveIndex{retain: retain}
+	li.head.Store(ix)
+	return li
+}
+
+// Snapshot returns the current version. Wait-free; the result is immutable
+// and remains valid (and byte-identical) across later mutations.
+func (li *LiveIndex) Snapshot() *Index { return li.head.Load() }
+
+// Version returns the current version number.
+func (li *LiveIndex) Version() int { return li.head.Load().Version() }
+
+// At returns the snapshot with the given version number: the head, or one
+// of the retained past versions. ok=false means the version was never
+// published or has been garbage-collected (fell out of the retention
+// window).
+func (li *LiveIndex) At(version int) (*Index, bool) {
+	if head := li.head.Load(); head.Version() == version {
+		return head, true
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	// Re-check the head under the lock (a writer may have published since),
+	// then the retention ring.
+	if head := li.head.Load(); head.Version() == version {
+		return head, true
+	}
+	for _, ix := range li.retained {
+		if ix.Version() == version {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// Mutate applies the edit batch and publishes the resulting index as the
+// new head, returning it. Writers are serialized; readers are never
+// blocked — they see either the old or the new head, atomically. The
+// previous head joins the retention window; the oldest retained version
+// beyond the window is dropped.
+func (li *LiveIndex) Mutate(ctx context.Context, edits []Edit) (*Index, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	cur := li.head.Load()
+	next, err := cur.ApplyEdits(ctx, edits)
+	if err != nil {
+		return nil, fmt.Errorf("repro: mutate version %d: %w", cur.Version(), err)
+	}
+	if next == cur {
+		// Identity batch: nothing to publish.
+		return cur, nil
+	}
+	li.retained = append(li.retained, cur)
+	if len(li.retained) > li.retain {
+		li.retained = li.retained[1:]
+	}
+	li.head.Store(next)
+	return next, nil
+}
+
+// Retained returns the version numbers currently resumable through At,
+// oldest first, including the head.
+func (li *LiveIndex) Retained() []int {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	out := make([]int, 0, len(li.retained)+1)
+	for _, ix := range li.retained {
+		out = append(out, ix.Version())
+	}
+	out = append(out, li.head.Load().Version())
+	return out
+}

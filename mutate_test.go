@@ -1,0 +1,202 @@
+package repro
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func collectAll(ix *Index) [][]int {
+	var out [][]int
+	ix.Enumerate(func(sol []int) bool {
+		out = append(out, append([]int(nil), sol...))
+		return true
+	})
+	return out
+}
+
+// TestBuildUnifiedEntry: Build with functional options matches the
+// deprecated wrappers exactly.
+func TestBuildUnifiedEntry(t *testing.T) {
+	g := Generate("grid", 400, GenOptions{Colors: 1, Seed: 1})
+	q := MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y")
+	viaBuild, err := Build(context.Background(), g, q, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOld, err := BuildIndexOpt(g, q, IndexOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collectAll(viaBuild), collectAll(viaOld)) {
+		t.Fatal("Build and BuildIndexOpt enumerate differently")
+	}
+	if viaBuild.Version() != 0 {
+		t.Fatalf("fresh build version = %d, want 0", viaBuild.Version())
+	}
+	reg := NewMetrics()
+	instrumented, err := Build(context.Background(), g, q, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrumented.Metrics() != reg {
+		t.Fatal("WithMetrics did not thread the registry")
+	}
+}
+
+// TestIndexApplyEdits: the facade mutation derives a new version whose
+// answers match a from-scratch build on the patched graph; the old version
+// keeps its answers.
+func TestIndexApplyEdits(t *testing.T) {
+	g := Generate("grid", 400, GenOptions{Colors: 1, Seed: 2})
+	q := MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y")
+	ix, err := Build(context.Background(), g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := collectAll(ix)
+	edits := []Edit{RemoveEdge(0, 1), AddColor(7, 0), RemoveColor(3, 0)}
+	next, err := ix.ApplyEdits(context.Background(), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version() != 1 {
+		t.Fatalf("mutated version = %d, want 1", next.Version())
+	}
+	gNew, err := PatchGraph(g, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := Build(context.Background(), gNew, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collectAll(next), collectAll(rebuilt)) {
+		t.Fatal("mutated index enumerates differently from a rebuild")
+	}
+	if !reflect.DeepEqual(collectAll(ix), before) {
+		t.Fatal("old version's answers changed")
+	}
+	if next.Graph().HasEdge(0, 1) || !next.Graph().HasColor(7, 0) {
+		t.Fatal("Graph() does not reflect the edits")
+	}
+}
+
+// TestLiveIndexVersioning: snapshot pinning, the retention window, and
+// version_gone semantics.
+func TestLiveIndexVersioning(t *testing.T) {
+	g := Generate("grid", 225, GenOptions{Colors: 1, Seed: 3})
+	q := MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y")
+	ix, err := Build(context.Background(), g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := NewLiveIndex(ix, 2)
+	pinned := li.Snapshot()
+	pinnedAnswers := collectAll(pinned)
+
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4; i++ {
+		var edits []Edit
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u != v {
+			if li.Snapshot().Graph().HasEdge(u, v) {
+				edits = append(edits, RemoveEdge(u, v))
+			} else {
+				edits = append(edits, AddEdge(u, v))
+			}
+		}
+		edits = append(edits, AddColor(rng.Intn(g.N()), 0))
+		if _, err := li.Mutate(context.Background(), edits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := li.Version(); got < 3 {
+		t.Fatalf("head version = %d after 4 mutations", got)
+	}
+	// The pinned snapshot still answers identically even though its
+	// version may have been GC'd from the LiveIndex.
+	if !reflect.DeepEqual(collectAll(pinned), pinnedAnswers) {
+		t.Fatal("pinned snapshot's answers changed under mutations")
+	}
+	// Version 0 fell out of a retain=2 window after ≥3 effective bumps.
+	if _, ok := li.At(0); ok && li.Version() >= 3 {
+		t.Fatal("version 0 should have been garbage-collected")
+	}
+	if _, ok := li.At(li.Version()); !ok {
+		t.Fatal("head version must be addressable")
+	}
+	if _, ok := li.At(li.Version() + 5); ok {
+		t.Fatal("future versions must not resolve")
+	}
+	retained := li.Retained()
+	if len(retained) > 3 { // retain=2 past + head
+		t.Fatalf("retention window leaked: %v", retained)
+	}
+}
+
+// TestLiveIndexConcurrentReaders: readers pinned across writer version
+// bumps, under -race.
+func TestLiveIndexConcurrentReaders(t *testing.T) {
+	g := Generate("grid", 225, GenOptions{Colors: 1, Seed: 5})
+	q := MustParseQuery("dist(x,y) > 2 & C0(y)", "x", "y")
+	ix, err := Build(context.Background(), g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := NewLiveIndex(ix, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			snap := li.Snapshot()
+			want := collectAll(snap)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Iterate the pinned snapshot; answers must never move.
+				it := snap.Iterator()
+				count := 0
+				for _, ok := it.Next(); ok && count < 50; _, ok = it.Next() {
+					count++
+				}
+				a := []int{rng.Intn(225), rng.Intn(225)}
+				snap.Test(a)
+				if i%10 == 9 {
+					if !reflect.DeepEqual(collectAll(snap), want) {
+						panic("pinned snapshot drifted")
+					}
+					// Re-pin to the current head now and then.
+					snap = li.Snapshot()
+					want = collectAll(snap)
+				}
+			}
+		}(int64(w))
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 6; i++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		var e Edit
+		if li.Snapshot().Graph().HasEdge(u, v) {
+			e = RemoveEdge(u, v)
+		} else {
+			e = AddEdge(u, v)
+		}
+		if _, err := li.Mutate(context.Background(), []Edit{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

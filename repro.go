@@ -153,11 +153,14 @@ func (q *Query) Canonical() string {
 }
 
 // Index is the preprocessed structure of Theorem 2.3 for one graph and one
-// query. Once built, its query methods are safe for concurrent use.
+// query. Once built, its query methods are safe for concurrent use. An
+// Index is an immutable snapshot: ApplyEdits derives the index of an
+// edited graph as a new value and never modifies the receiver.
 type Index struct {
-	e *core.Engine
-	k int
-	q *Query // retained for snapshots; nil only for zero-value indexes
+	e       *core.Engine
+	k       int
+	q       *Query // retained for snapshots; nil only for zero-value indexes
+	version int    // mutation generation; 0 for a fresh build
 }
 
 // Metrics is an observability registry (internal/obs): atomic counters
@@ -197,11 +200,16 @@ type IndexOptions struct {
 
 // BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3,
 // using all available CPUs.
+//
+// Deprecated: use Build(ctx, g, q), the unified v1 entry point.
 func BuildIndex(g *Graph, q *Query) (*Index, error) {
 	return BuildIndexOpt(g, q, IndexOptions{})
 }
 
 // BuildIndexOpt is BuildIndex with explicit options.
+//
+// Deprecated: use Build(ctx, g, q, opts...) with functional options
+// (WithParallelism, WithMetrics).
 func BuildIndexOpt(g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 	return BuildIndexCtx(context.Background(), g, q, opt)
 }
@@ -211,6 +219,9 @@ func BuildIndexOpt(g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 // starter → skip) and aborts with an error wrapping ctx's error once it is
 // canceled or past its deadline. The serving layer uses this to enforce
 // per-request build deadlines.
+//
+// Deprecated: use Build(ctx, g, q, opts...); this remains the common
+// implementation behind Build and the deprecated wrappers.
 func BuildIndexCtx(ctx context.Context, g *Graph, q *Query, opt IndexOptions) (*Index, error) {
 	lq, err := q.compile()
 	if err != nil {

@@ -29,6 +29,11 @@
 #                one-branch disabled path), and Iterator.Next/Index.Test
 #                stay at 0 allocs/op with a live request trace — spans
 #                wrap pages and phases, never answers (README "Tracing")
+#            (f) mutation guards (MUT_GUARD=1): a single-edge ApplyEdits
+#                on the E16 grid must beat rebuilding the index by ≥10×
+#                (the §3 n^ε update regime), and the mutated index must
+#                keep the zero-alloc Iterator.Next/Index.Test hot paths
+#                (see README "Mutations")
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -59,6 +64,8 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     go test -race -count=1 -run 'TestRing|TestTailSampling|TestTraceSpanTree' ./internal/obs/
     echo "== tier 2: snapshot decoder fuzz (30s) =="
     go test -run FuzzSnapshotLoad -fuzz FuzzSnapshotLoad -fuzztime 30s ./internal/snap/
+    echo "== tier 2: mutation-vs-rebuild fuzz (30s) =="
+    go test -run FuzzMutateVsRebuild -fuzz FuzzMutateVsRebuild -fuzztime 30s ./internal/core/
 fi
 
 if [[ "$tier" == "3" || "$tier" == "all" ]]; then
@@ -72,6 +79,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     SNAP_GUARD=1 go test -run 'TestSnapshotLoad' -count=1 -v ./internal/snap/
     echo "== tier 3: trace guards (TRACE_GUARD=1) =="
     TRACE_GUARD=1 go test -run 'TestTraced|TestTraceDisabledOverheadGuard' -count=1 -v ./internal/serve/
+    echo "== tier 3: mutation guards (MUT_GUARD=1) =="
+    MUT_GUARD=1 go test -run 'TestMutateSpeedGuard|TestMutateZeroAllocsGuard' -count=1 -v .
 fi
 
 echo "verify: OK (tier $tier)"
