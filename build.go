@@ -23,6 +23,15 @@ func WithMetrics(reg *Metrics) Option {
 	return func(o *IndexOptions) { o.Metrics = reg }
 }
 
+// WithEngine selects the enumeration engine: EngineCore (the default),
+// EngineLowDeg, or EngineAuto, which measures the graph's maximum degree
+// and degeneracy and routes bounded-degree inputs to the cheaper
+// low-degree engine. The routing decision is recorded on the index; see
+// Index.Selection.
+func WithEngine(kind EngineKind) Option {
+	return func(o *IndexOptions) { o.Engine = kind }
+}
+
 // Build performs the pseudo-linear preprocessing of Theorem 2.3 and is the
 // single v1 entry point for index construction: context-bounded, tuned by
 // functional options.
@@ -91,6 +100,19 @@ func PatchGraph(g *Graph, edits []Edit) (*Graph, error) { return graph.Patch(g, 
 // patch, the accumulated deltas outgrow their thresholds) transparently
 // fall back to a full rebuild; Stats().MutRebuilds counts those.
 func (ix *Index) ApplyEdits(ctx context.Context, edits []Edit) (*Index, error) {
+	if ix.le != nil {
+		// The low-degree engine has no incremental path: a real edit is a
+		// full (but linear, hence cheap) rebuild; an identity batch returns
+		// the engine — and so the index — unchanged.
+		le2, err := ix.le.ApplyEdits(ctx, edits)
+		if err != nil {
+			return nil, err
+		}
+		if le2 == ix.le {
+			return ix, nil
+		}
+		return &Index{le: le2, sel: ix.sel, k: ix.k, q: ix.q, version: ix.version + 1}, nil
+	}
 	e2, err := ix.e.ApplyEdits(ctx, edits)
 	if err != nil {
 		return nil, err
@@ -100,7 +122,7 @@ func (ix *Index) ApplyEdits(ctx context.Context, edits []Edit) (*Index, error) {
 		// version.
 		return ix, nil
 	}
-	return &Index{e: e2, k: ix.k, q: ix.q, version: ix.version + 1}, nil
+	return &Index{e: e2, sel: ix.sel, k: ix.k, q: ix.q, version: ix.version + 1}, nil
 }
 
 // Mutate is ApplyEdits under the name the serving layer's endpoint uses.
@@ -109,7 +131,12 @@ func (ix *Index) Mutate(ctx context.Context, edits []Edit) (*Index, error) {
 }
 
 // Graph returns the graph this index version answers over.
-func (ix *Index) Graph() *Graph { return ix.e.Graph() }
+func (ix *Index) Graph() *Graph {
+	if ix.le != nil {
+		return ix.le.Graph()
+	}
+	return ix.e.Graph()
+}
 
 // Version returns the index's mutation generation: 0 for a freshly built
 // index, incremented by every effective ApplyEdits.

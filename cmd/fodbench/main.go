@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"E13", "§2 characterization: weak r-accessibility small on nowhere dense classes", runE13},
 	{"E15", "Corollary 2.5 profiled: per-answer delay histograms → BENCH_delay.json", runE15},
 	{"E16", "§3 incremental update: single-edge ApplyEdits vs rebuild → BENCH_update.json", runE16},
+	{"E17", "Low-degree engine ([13]): linear build vs core preprocessing, same delay → BENCH_lowdeg.json", runE17},
 }
 
 // parallelism is the preprocessing worker count shared by all experiments

@@ -61,7 +61,14 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "always retain traces at least this slow (negative: retain all)")
 	traceSample := flag.Int("trace-sample", 16, "keep 1 in N fast, successful traces (1: all; negative: none)")
 	logFormat := flag.String("log-format", "json", "structured log format: json, text, or off")
+	engine := flag.String("engine", "auto", "enumeration engine: auto (route per graph on degree/degeneracy), core, or lowdeg")
 	flag.Parse()
+
+	switch repro.EngineKind(*engine) {
+	case repro.EngineAuto, repro.EngineCore, repro.EngineLowDeg:
+	default:
+		fail(fmt.Errorf("-engine %q: want auto, core, or lowdeg", *engine))
+	}
 
 	graphs := make(map[string]*repro.Graph)
 	for _, spec := range graphFlags {
@@ -127,6 +134,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *parallel,
 		RetainVersions: *retain,
+		Engine:         repro.EngineKind(*engine),
 		Metrics:        reg,
 		SnapshotDir:    *snapshotDir,
 		Tracer:         tracer,
@@ -143,7 +151,7 @@ func main() {
 	if tracer != nil {
 		extras += ", traces at /debug/traces"
 	}
-	fmt.Fprintf(os.Stderr, "fodserve: serving on http://%s/v1 (%s)\n", *addr, extras)
+	fmt.Fprintf(os.Stderr, "fodserve: serving on http://%s/v1 (engine %s, %s)\n", *addr, *engine, extras)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

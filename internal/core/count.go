@@ -20,12 +20,20 @@ import (
 //	#far(L0, L1) = |L0|·|L1| − #close(L0, L1),
 //
 // with the close-pair term again a ball scan. Both scans cost Σ_a ‖N_R(a)‖.
+//
+// Higher arities are supported when every live clause's distance type is
+// connected (a single component): each solution then lives inside the
+// radius-R(k−1) ball of its first element and fastCountConnected counts
+// by one bounded recursion per vertex.
 func (e *Engine) FastCount() (int, bool) {
 	switch e.k {
 	case 1:
 		return e.fastCount1(), true
 	case 2:
 		return e.fastCount2(), true
+	}
+	if e.allConnected() {
+		return e.fastCountConnected(), true
 	}
 	return 0, false
 }
@@ -45,15 +53,7 @@ func (e *Engine) fastCount1() int {
 }
 
 func (e *Engine) fastCount2() int {
-	groups := map[string][]*clauseRT{}
-	var order []string
-	for _, rt := range e.clauses {
-		k := rt.clause.Type.Key()
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], rt)
-	}
+	groups, order := e.groupByType()
 	total := 0
 	for _, key := range order {
 		g := groups[key]
@@ -64,6 +64,82 @@ func (e *Engine) fastCount2() int {
 		}
 	}
 	return total
+}
+
+// groupByType buckets the live clauses by distance type, preserving first-
+// appearance order so the count is deterministic. Distinct type keys have
+// distinct close matrices, hence disjoint tuple sets — group counts add.
+func (e *Engine) groupByType() (map[string][]*clauseRT, []string) {
+	groups := map[string][]*clauseRT{}
+	var order []string
+	for _, rt := range e.clauses {
+		k := rt.clause.Type.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], rt)
+	}
+	return groups, order
+}
+
+// allConnected reports whether every live clause's distance type has a
+// single component, i.e. the query only asserts "close"-connected tuples.
+func (e *Engine) allConnected() bool {
+	for _, rt := range e.clauses {
+		if len(rt.comps) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// fastCountConnected counts the solutions of an all-connected query of
+// arity ≥ 3: every solution lives inside the radius-R(k−1) ball of its
+// first element, so the count is one ball-confined recursion per vertex.
+// A tuple is counted once per type group via first-match evaluation.
+func (e *Engine) fastCountConnected() int {
+	groups, order := e.groupByType()
+	total := 0
+	tuple := make([]graph.V, e.k)
+	for _, key := range order {
+		g := groups[key]
+		for a := 0; a < e.g.N(); a++ {
+			tuple[0] = a
+			total += e.countConnectedRec(g, tuple, 1)
+		}
+	}
+	return total
+}
+
+// countConnectedRec extends tuple[:j] over the ball of tuple[0], checking
+// the distance pattern incrementally, and counts the completions matching
+// at least one clause of the group.
+func (e *Engine) countConnectedRec(group []*clauseRT, tuple []graph.V, j int) int {
+	typ := group[0].clause.Type
+	if j == e.k {
+		for _, rt := range group {
+			if e.localEval(rt.comps[0], tuple) {
+				return 1
+			}
+		}
+		return 0
+	}
+	count := 0
+	for _, w := range e.cachedBall(tuple[0]) {
+		ok := true
+		for i := 0; i < j; i++ {
+			if e.dix.Within(tuple[i], w, e.r) != typ.Close(i, j) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		tuple[j] = w
+		count += e.countConnectedRec(group, tuple, j+1)
+	}
+	return count
 }
 
 // countCloseGroup counts pairs (a, b) with dist(a,b) ≤ R whose component

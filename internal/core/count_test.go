@@ -60,6 +60,37 @@ func TestFastCountMatchesEnumerationBinary(t *testing.T) {
 	}
 }
 
+// TestFastCountConnectedTernary: arity-3 queries whose compiled clause
+// types are all connected take the fastCountConnected path; pin it to the
+// enumeration count.
+func TestFastCountConnectedTernary(t *testing.T) {
+	queries := []string{
+		"dist(x,y) <= 1 & dist(y,z) <= 1 & C0(x)",
+		"E(x,y) & E(y,z) & C1(z)",
+	}
+	for _, src := range queries {
+		phi := fo.MustParse(src)
+		q, err := Compile(phi, []fo.Var{"x", "y", "z"}, CompileOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, class := range []gen.Class{gen.Grid, gen.BoundedDegree, gen.Caterpillar} {
+			g := gen.Generate(class, 90, gen.Options{Seed: 9, Colors: 2, ColorProb: 0.3})
+			e, err := Preprocess(g, q, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", src, class, err)
+			}
+			fast, ok := e.FastCount()
+			if !ok {
+				t.Fatalf("%s on %s: connected ternary FastCount unsupported", src, class)
+			}
+			if slow := e.Count(); fast != slow {
+				t.Fatalf("%s on %s: FastCount %d != Count %d", src, class, fast, slow)
+			}
+		}
+	}
+}
+
 func TestFastCountUnsupportedArity(t *testing.T) {
 	phi := fo.MustParse("dist(x,z) > 2 & dist(y,z) > 2 & C0(z)")
 	q, err := Compile(phi, []fo.Var{"x", "y", "z"}, CompileOptions{})

@@ -1,9 +1,11 @@
-// Differential test harness: every query runs through two independently
-// built engines — Parallelism 1 (the sequential reference) and
-// Parallelism 4 — plus the naive evaluator as ground truth. All three must
-// agree on the full enumeration, on membership probes, and on counts;
-// the two engines must additionally agree on their preprocessing shape
-// (cover validity, bag count, starter sizes).
+// Differential test harness: every conformance case runs through two
+// independently built engines — Parallelism 1 (the sequential reference)
+// and Parallelism 4 — plus the naive evaluator as ground truth. The
+// engine-contract assertions live in internal/conform (shared with the
+// cross-engine battery and the lowdeg fuzz harness); this file adds the
+// core-specific checks: the two builds must agree on their preprocessing
+// shape (cover validity, bag count, starter sizes), and the cover and
+// distance-index layers are validated against brute force.
 package core_test
 
 import (
@@ -11,85 +13,77 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/dist"
 	"repro/internal/fo"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/naive"
 )
 
-type diffCase struct {
-	class gen.Class
-	n     int
-	query string
-	vars  []fo.Var
-}
-
-func diffCases() []diffCase {
-	xy := []fo.Var{"x", "y"}
-	xyz := []fo.Var{"x", "y", "z"}
-	return []diffCase{
-		{gen.Path, 60, "dist(x,y) > 2 & C0(y)", xy},
-		{gen.Grid, 64, "dist(x,y) > 1 & C0(x) & C1(y)", xy},
-		{gen.RandomTree, 70, "E(x,y) & C0(x)", xy},
-		{gen.Caterpillar, 50, "dist(x,y) > 2 & (exists z (E(x,z) & C0(z)))", xy},
-		{gen.SparseRandom, 55, "dist(x,y) > 2 & C0(x)", xy},
-		{gen.BoundedDegree, 48, "dist(x,y) > 1 & dist(y,z) > 1 & dist(x,z) > 1 & C0(x)", xyz},
-		{gen.Star, 40, "C0(x) & C1(y) & dist(x,y) > 1", xy},
-		{gen.Cycle, 45, "dist(x,y) <= 2 & C0(x)", xy},
+// diffCases returns the non-empty conformance cases: the empty-answer-set
+// cases are exercised by the cross-engine battery; here they would only
+// skip the shape comparison.
+func diffCases() []conform.Case {
+	var out []conform.Case
+	for _, c := range conform.Cases() {
+		if !c.Empty {
+			out = append(out, c)
+		}
 	}
+	return out
 }
 
-func buildEngines(t *testing.T, tc diffCase, seed int64) (*graph.Graph, *core.Engine, *core.Engine, *core.LocalQuery) {
+// materialize drains an engine's enumeration (shared helper, also used by
+// the mutation tests).
+func materialize(e *core.Engine) [][]graph.V {
+	return conform.Materialize(e)
+}
+
+func buildEngines(t *testing.T, tc conform.Case, seed int64) (*graph.Graph, *core.Engine, *core.Engine, *core.LocalQuery) {
 	t.Helper()
-	g := gen.Generate(tc.class, tc.n, gen.Options{Seed: seed, Colors: 2})
-	lq, err := core.Compile(fo.MustParse(tc.query), tc.vars, core.CompileOptions{})
+	g := gen.Generate(tc.Class, tc.N, gen.Options{Seed: seed, Colors: tc.Colors})
+	vars := make([]fo.Var, len(tc.Vars))
+	for i, v := range tc.Vars {
+		vars[i] = fo.Var(v)
+	}
+	lq, err := core.Compile(fo.MustParse(tc.Query), vars, core.CompileOptions{})
 	if err != nil {
-		t.Fatalf("%s: compile: %v", tc.query, err)
+		t.Fatalf("%s: compile: %v", tc.Query, err)
 	}
 	seq, err := core.Preprocess(g, lq, core.Options{Parallelism: 1})
 	if err != nil {
-		t.Fatalf("%s: sequential preprocess: %v", tc.query, err)
+		t.Fatalf("%s: sequential preprocess: %v", tc.Query, err)
 	}
 	par, err := core.Preprocess(g, lq, core.Options{Parallelism: 4})
 	if err != nil {
-		t.Fatalf("%s: parallel preprocess: %v", tc.query, err)
+		t.Fatalf("%s: parallel preprocess: %v", tc.Query, err)
 	}
 	return g, seq, par, lq
 }
 
-func materialize(e *core.Engine) [][]graph.V {
-	var out [][]graph.V
-	e.Enumerate(func(s []graph.V) bool {
-		out = append(out, append([]graph.V(nil), s...))
-		return true
-	})
-	return out
-}
-
 // TestDifferentialParallelVsSequential is the main differential check:
-// identical enumeration output from both engines, and both matching the
-// naive oracle.
+// both builds must pass the full conformance contract against the naive
+// oracle, agree with each other, and agree on preprocessing shape.
 func TestDifferentialParallelVsSequential(t *testing.T) {
 	for _, tc := range diffCases() {
 		for seed := int64(1); seed <= 3; seed++ {
-			label := fmt.Sprintf("%s/%s/seed%d", tc.class, tc.query, seed)
+			label := fmt.Sprintf("%s/%s/seed%d", tc.Class, tc.Query, seed)
 			g, seq, par, lq := buildEngines(t, tc, seed)
-			want := naive.SolutionsLocal(g, lq)
-			gotSeq := materialize(seq)
-			gotPar := materialize(par)
-			if !reflect.DeepEqual(gotSeq, gotPar) {
-				t.Fatalf("%s: parallel enumeration diverged from sequential (%d vs %d tuples)",
-					label, len(gotSeq), len(gotPar))
-			}
-			if len(want) == 0 {
-				want = nil
-			}
-			if !reflect.DeepEqual(gotSeq, want) {
-				t.Fatalf("%s: engine enumeration diverged from naive oracle (%d vs %d tuples)",
-					label, len(gotSeq), len(want))
+			want := conform.NewNaive(g, lq).Solutions()
+			for name, e := range map[string]*core.Engine{"seq": seq, "par": par} {
+				e := e
+				sys := conform.System{
+					Name: label + "/" + name, Engine: e, K: lq.K, N: g.N(),
+					NewCursor: func(a []graph.V) conform.Cursor { return e.IteratorFrom(a) },
+				}
+				if err := conform.CheckEnumeration(sys, want); err != nil {
+					t.Fatal(err)
+				}
+				if err := conform.CheckCounts(sys, want); err != nil {
+					t.Fatal(err)
+				}
 			}
 			// Preprocessing shape must agree too.
 			ss, ps := seq.Stats(), par.Stats()
@@ -102,36 +96,21 @@ func TestDifferentialParallelVsSequential(t *testing.T) {
 	}
 }
 
-// TestDifferentialMembership probes Test on a grid of tuples against both
-// engines and the naive semantics.
+// TestDifferentialMembership probes Test and NextGeq on both engines
+// through the shared conformance checks.
 func TestDifferentialMembership(t *testing.T) {
 	for _, tc := range diffCases()[:4] {
 		g, seq, par, lq := buildEngines(t, tc, 7)
-		sols := naive.SolutionsLocal(g, lq)
-		inSol := map[string]bool{}
-		for _, s := range sols {
-			inSol[fmt.Sprint(s)] = true
-		}
-		k := len(tc.vars)
-		probe := make([]graph.V, k)
-		var walk func(i int)
-		walk = func(i int) {
-			if i == k {
-				want := inSol[fmt.Sprint(probe)]
-				if got := seq.Test(probe); got != want {
-					t.Fatalf("%s: sequential Test(%v) = %v, naive %v", tc.query, probe, got, want)
-				}
-				if got := par.Test(probe); got != want {
-					t.Fatalf("%s: parallel Test(%v) = %v, naive %v", tc.query, probe, got, want)
-				}
-				return
+		want := conform.NewNaive(g, lq).Solutions()
+		for name, e := range map[string]*core.Engine{"seq": seq, "par": par} {
+			sys := conform.System{Name: tc.Name + "/" + name, Engine: e, K: lq.K, N: g.N()}
+			if err := conform.CheckTest(sys, want); err != nil {
+				t.Fatal(err)
 			}
-			for v := 0; v < g.N(); v += 5 {
-				probe[i] = v
-				walk(i + 1)
+			if err := conform.CheckNextGeq(sys, want); err != nil {
+				t.Fatal(err)
 			}
 		}
-		walk(0)
 	}
 }
 

@@ -1,0 +1,75 @@
+package fo
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseCount parses a counting query in the `#x̄: φ` syntax of
+// Grohe & Schweikardt, "First-Order Query Evaluation with Cardinality
+// Conditions" (the [18] companion of the enumeration paper):
+//
+//	#x: C0(x)
+//	#x,y: dist(x,y) > 2 & C0(y)
+//
+// The head `#x,y:` declares the counted tuple and its column order; the
+// body after the colon is an ordinary FO⁺ formula in the Parse language.
+// Every free variable of the body must be declared in the head (head
+// variables may go unused — they then range freely, multiplying the
+// count by |G| each, exactly as the semantics demands).
+func ParseCount(input string) ([]Var, Formula, error) {
+	s := strings.TrimSpace(input)
+	if !strings.HasPrefix(s, "#") {
+		return nil, nil, fmt.Errorf("fo: counting query must start with '#', got %q", input)
+	}
+	head, body, ok := strings.Cut(s[1:], ":")
+	if !ok {
+		return nil, nil, fmt.Errorf("fo: counting query %q is missing the ':' after its variables", input)
+	}
+	var vars []Var
+	seen := map[Var]bool{}
+	for _, name := range strings.Split(head, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, nil, fmt.Errorf("fo: empty variable in counting head %q", head)
+		}
+		if !validVarName(name) {
+			return nil, nil, fmt.Errorf("fo: %q is not a variable name", name)
+		}
+		v := Var(name)
+		if seen[v] {
+			return nil, nil, fmt.Errorf("fo: variable %s repeated in counting head", v)
+		}
+		seen[v] = true
+		vars = append(vars, v)
+	}
+	phi, err := Parse(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, v := range FreeVars(phi) {
+		if !seen[v] {
+			return nil, nil, fmt.Errorf("fo: free variable %s of the body is not declared in the counting head", v)
+		}
+	}
+	return vars, phi, nil
+}
+
+// validVarName reports whether s is a lower-case identifier the query
+// language accepts as a variable (a letter followed by letters, digits or
+// underscores; the upper-case relation names E and C are reserved).
+func validVarName(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !unicode.IsLetter(r) || unicode.IsUpper(r) {
+				return false
+			}
+			continue
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}

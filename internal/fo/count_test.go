@@ -1,0 +1,52 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCount(t *testing.T) {
+	vars, phi, err := ParseCount("#x,y: dist(x,y) > 2 & C0(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("vars = %v", vars)
+	}
+	if got, want := phi.String(), MustParse("dist(x,y) > 2 & C0(y)").String(); got != want {
+		t.Fatalf("body = %q, want %q", got, want)
+	}
+
+	// Unused head variables are allowed (they range freely).
+	vars, _, err = ParseCount(" #x, y, z : C0(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vars) != 3 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestParseCountErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected error fragment
+	}{
+		{"dist(x,y) > 2", "must start with '#'"},
+		{"#x C0(x)", "missing the ':'"},
+		{"#: C0(x)", "empty variable"},
+		{"#x,,y: C0(x)", "empty variable"},
+		{"#x,x: C0(x)", "repeated"},
+		{"#x: C0(y)", "not declared"},
+		{"#E: true", "not a variable name"},
+		{"#1x: true", "not a variable name"},
+		{"#x: C0(x", "fo:"}, // body parse error propagates
+	}
+	for _, c := range cases {
+		if _, _, err := ParseCount(c.src); err == nil {
+			t.Errorf("ParseCount(%q): expected error", c.src)
+		} else if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseCount(%q): error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+// Equal reports whether a and b are the same labeled graph: identical
+// vertex count, edge multiset and color assignment. It is an exact O(n+m)
+// comparison — no fingerprint hashing, so no collision risk — used by the
+// low-degree engine to detect edit batches that net out to the identity
+// (Patch always returns a fresh copy, so pointer equality cannot tell).
+func Equal(a, b *Graph) bool {
+	if a == b {
+		return true
+	}
+	if a.N() != b.N() || a.M() != b.M() || a.NumColors() != b.NumColors() {
+		return false
+	}
+	n := a.N()
+	for v := 0; v < n; v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	ncol := a.NumColors()
+	for v := 0; v < n; v++ {
+		for c := 0; c < ncol; c++ {
+			if a.HasColor(v, Color(c)) != b.HasColor(v, Color(c)) {
+				return false
+			}
+		}
+	}
+	return true
+}

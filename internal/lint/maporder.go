@@ -14,12 +14,16 @@ import (
 // runs by the differential test harness. internal/graph joined the scope
 // with the mutation layer: Patch promises a patched graph byte-identical
 // to rebuilding the same edge and color sets, so its folds over edit
-// deltas are determinism-bearing too.
+// deltas are determinism-bearing too. internal/lowdeg joined with the
+// low-degree engine: its parallel ball build promises the same
+// worker-count independence as core's, and its counting groups clauses
+// through maps whose fold order must not leak into results.
 var mapOrderScope = []string{
 	"internal/core",
 	"internal/cover",
 	"internal/dist",
 	"internal/graph",
+	"internal/lowdeg",
 	"internal/skip",
 	"internal/store",
 }

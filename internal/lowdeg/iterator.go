@@ -1,0 +1,122 @@
+package lowdeg
+
+import "repro/internal/graph"
+
+// Iterator is the pull-style face of constant-delay enumeration: a cursor
+// over the solution set in lexicographic order, structurally identical to
+// core.Iterator — one cursor per clause advanced as a k-way merge, every
+// buffer owned by the iterator so steady-state Next calls are
+// allocation-free (the LOWDEG_GUARD AllocsPerRun suite pins Next at
+// 0 allocs/op). The slice returned by Next is valid only until the
+// following Next or Seek call; copy it to retain it.
+//
+// An Iterator borrows the Engine and must not be used concurrently with
+// other Engine calls.
+type Iterator struct {
+	e     *Engine
+	nexts [][]graph.V // per clause: candidate ≥ cursor (aliases bufs), nil = drained
+	bufs  [][]graph.V // per-clause candidate buffers
+	cur   []graph.V   // the next solution to hand out
+	prev  []graph.V   // the previously handed-out solution (swap partner of cur)
+	succ  []graph.V   // successor scratch
+	has   bool
+}
+
+// Iterator returns a cursor positioned at the first solution.
+func (e *Engine) Iterator() *Iterator {
+	it := &Iterator{e: e}
+	it.Seek(make([]graph.V, e.k))
+	return it
+}
+
+// IteratorFrom returns a cursor positioned at the smallest solution ≥ a.
+func (e *Engine) IteratorFrom(a []graph.V) *Iterator {
+	it := &Iterator{e: e}
+	it.Seek(a)
+	return it
+}
+
+// Seek repositions the cursor at the smallest solution ≥ a. Buffers are
+// created on first use and reused by every later Seek and Next.
+func (it *Iterator) Seek(a []graph.V) {
+	if it.bufs == nil {
+		n := len(it.e.clauses)
+		it.nexts = make([][]graph.V, n)
+		it.bufs = make([][]graph.V, n)
+		for i := range it.bufs {
+			it.bufs[i] = make([]graph.V, it.e.k)
+		}
+		it.cur = make([]graph.V, it.e.k)
+		it.prev = make([]graph.V, it.e.k)
+		it.succ = make([]graph.V, it.e.k)
+	}
+	it.has = false
+	if it.e.g.N() == 0 {
+		for i := range it.nexts {
+			it.nexts[i] = nil
+		}
+		return
+	}
+	for i, rt := range it.e.clauses {
+		if it.e.nextClauseInto(rt, a, it.bufs[i]) {
+			it.nexts[i] = it.bufs[i]
+		} else {
+			it.nexts[i] = nil
+		}
+	}
+	it.settle()
+}
+
+// settle copies the overall minimum of the per-clause candidates into
+// it.cur.
+//
+//fod:hotpath
+func (it *Iterator) settle() {
+	var best []graph.V
+	for _, cand := range it.nexts {
+		if cand != nil && (best == nil || lexLess(cand, best)) {
+			best = cand
+		}
+	}
+	if best == nil {
+		it.has = false
+		return
+	}
+	copy(it.cur, best)
+	it.has = true
+}
+
+// HasNext reports whether another solution is available.
+func (it *Iterator) HasNext() bool { return it.has }
+
+// Next returns the current solution and advances the cursor. The returned
+// slice is valid until the next call to Next or Seek; copy it to retain
+// it. ok=false signals exhaustion.
+//
+//fod:hotpath
+func (it *Iterator) Next() ([]graph.V, bool) {
+	if !it.has {
+		return nil, false
+	}
+	// Hand out cur and flip the buffer pair, so settle below writes the
+	// upcoming solution without clobbering the slice being returned.
+	out := it.cur
+	it.cur, it.prev = it.prev, it.cur
+	if !incrementTupleInto(it.succ, out, it.e.g.N()) {
+		it.has = false
+		return out, true
+	}
+	// Advance exactly the clauses whose candidate was consumed (several
+	// clauses may share a solution tuple).
+	for i, cand := range it.nexts {
+		if cand != nil && !lexLess(out, cand) { // cand ≤ out, i.e. cand == out
+			if it.e.nextClauseInto(it.e.clauses[i], it.succ, it.bufs[i]) {
+				it.nexts[i] = it.bufs[i]
+			} else {
+				it.nexts[i] = nil
+			}
+		}
+	}
+	it.settle()
+	return out, true
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"repro"
 	"repro/internal/obs"
 )
 
@@ -125,6 +126,33 @@ type MutateResponse struct {
 	M int `json:"m"`
 }
 
+// CountRequest evaluates a counting query `#x̄ φ` (Grohe–Schweikardt).
+// Either ID names an already registered query, or Graph + Query register
+// one inline using the counting syntax, e.g.
+//
+//	{"graph": "g", "query": "#x,y: dist(x,y) > 2 & C0(y)"}
+//
+// The inline form registers the query exactly like POST /v1/query would
+// (same deterministic id), so a later /v1/enumerate can stream the tuples
+// that were counted.
+type CountRequest struct {
+	ID    string `json:"id,omitempty"`
+	Graph string `json:"graph,omitempty"`
+	Query string `json:"query,omitempty"`
+}
+
+// CountResponse is the solution count at the graph's head version. Fast
+// reports whether the engine's sub-enumeration counting path produced the
+// number (rather than a full enumeration); Engine names the engine that
+// backs the counted index ("core" or "lowdeg").
+type CountResponse struct {
+	ID      string `json:"id"`
+	Version int    `json:"version"`
+	Count   int    `json:"count"`
+	Fast    bool   `json:"fast"`
+	Engine  string `json:"engine"`
+}
+
 // FlushResponse reports how many cached indexes POST /v1/cache/flush
 // dropped.
 type FlushResponse struct {
@@ -136,6 +164,9 @@ type StatsResponse struct {
 	Graphs  map[string]GraphStats `json:"graphs"`
 	Queries []QueryStats          `json:"queries"`
 	Cache   CacheStats            `json:"cache"`
+	// Engine is the configured engine mode ("core", "lowdeg" or "auto";
+	// "core" when the server was configured with the default).
+	Engine string `json:"engine"`
 	// Metrics is the full obs registry snapshot (per-endpoint latency
 	// histograms, cache counters, in-flight gauge, engine internals of
 	// resident indexes); omitted when the server runs unmetered.
@@ -154,12 +185,19 @@ type GraphStats struct {
 	Retained []int `json:"retained"`
 }
 
-// QueryStats describes one registered query.
+// QueryStats describes one registered query. Engine and Selection
+// describe the index resident at the graph's head version — which engine
+// backs it and the degree/degeneracy estimates that routed it there; both
+// are omitted while no head index is resident (nothing to report without
+// forcing a build from a stats scrape).
 type QueryStats struct {
 	ID        string `json:"id"`
 	Graph     string `json:"graph"`
 	Canonical string `json:"canonical"`
 	Arity     int    `json:"arity"`
+
+	Engine    string           `json:"engine,omitempty"`
+	Selection *repro.Selection `json:"selection,omitempty"`
 }
 
 // Error codes of the API.

@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/conform"
+	"repro/internal/core"
 	"repro/internal/fo"
-	"repro/internal/naive"
+	"repro/internal/graph"
 )
 
 // TestCursorPagingDifferential is the cursor correctness property test:
@@ -60,34 +62,44 @@ func TestCursorPagingDifferential(t *testing.T) {
 	})
 }
 
-func checkPaging(t *testing.T, base string, s *Server, g *repro.Graph, gname, src string, vars []string, pageSizes []int) {
-	// Oracle 1: the index's own Enumerate stream (the acceptance bar:
-	// byte-identical pagination).
-	q := repro.MustParseQuery(src, vars...)
-	ix, err := repro.BuildIndex(g, q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var want [][]int
-	ix.Enumerate(func(sol []int) bool {
-		want = append(want, append([]int(nil), sol...))
-		return true
-	})
+// facadeEngine adapts *repro.Index to the conformance kit's engine
+// contract (the facade names Theorem 2.3 "Next" where the internal
+// engines say "NextGeq").
+type facadeEngine struct{ ix *repro.Index }
 
-	// Oracle 2: naive materialization agrees with Enumerate (ties the API
-	// stream all the way back to the formula semantics).
+func (f facadeEngine) NextGeq(a []graph.V) ([]graph.V, bool) { return f.ix.Next(a) }
+func (f facadeEngine) Test(a []graph.V) bool                 { return f.ix.Test(a) }
+func (f facadeEngine) Enumerate(y func([]graph.V) bool)      { f.ix.Enumerate(y) }
+func (f facadeEngine) Count() int                            { return f.ix.Count() }
+func (f facadeEngine) NextLast(p []graph.V, b graph.V) (graph.V, bool) {
+	return f.ix.NextLast(p, b)
+}
+
+func checkPaging(t *testing.T, base string, s *Server, g *repro.Graph, gname, src string, vars []string, pageSizes []int) {
+	// Oracle: the shared conformance kit ties the facade index all the way
+	// back to the formula semantics (naive materialization) across the full
+	// engine contract, then its sorted solution list is the acceptance bar
+	// the paged HTTP stream must reproduce byte for byte.
+	q := repro.MustParseQuery(src, vars...)
 	fvars := make([]fo.Var, len(vars))
 	for i, v := range vars {
 		fvars[i] = fo.Var(v)
 	}
-	naiveSols := naive.Solutions(g, q.Phi, fvars)
-	if len(naiveSols) != len(want) {
-		t.Fatalf("Enumerate (%d sols) disagrees with naive oracle (%d sols)", len(want), len(naiveSols))
+	lq, err := core.Compile(q.Phi, fvars, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range want {
-		if !tupleEqual(want[i], naiveSols[i]) {
-			t.Fatalf("solution %d: Enumerate %v != naive %v", i, want[i], naiveSols[i])
-		}
+	ix, err := repro.BuildIndex(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := conform.NewNaive(g, lq).Solutions()
+	sys := conform.System{
+		Name: gname + "/facade", Engine: facadeEngine{ix}, K: len(vars), N: g.N(),
+		NewCursor: func(a []graph.V) conform.Cursor { return ix.IteratorFrom(a) },
+	}
+	if err := conform.CheckAll(sys, want); err != nil {
+		t.Fatal(err)
 	}
 
 	qr := registerQuery(t, base, gname, src, vars...)

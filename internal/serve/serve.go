@@ -23,6 +23,7 @@
 //	GET  /v1/enumerate      one page of solutions + opaque resume cursor
 //	POST /v1/test           Corollary 2.4: constant-time membership
 //	POST /v1/next           Theorem 2.3: smallest solution ≥ tuple
+//	POST /v1/count          counting query `#x̄ φ` (Grohe–Schweikardt)
 //	POST /v1/mutate         apply an edit batch, publish a new graph version
 //	GET  /v1/stats          graphs (with versions), queries, cache, metrics
 //	POST /v1/cache/flush    drop all cached indexes (ops/testing)
@@ -93,6 +94,12 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// Parallelism forwards to IndexOptions.Parallelism for cache builds.
 	Parallelism int
+	// Engine selects the enumeration engine for every index this server
+	// builds: repro.EngineCore (also the "" default — existing deployments
+	// are unchanged), repro.EngineLowDeg, or repro.EngineAuto, which
+	// routes each graph on its measured degree and degeneracy. The chosen
+	// engine and its selection inputs are surfaced per query in /v1/stats.
+	Engine repro.EngineKind
 	// SnapshotDir, when non-empty, enables the disk cache tier: on a
 	// memory miss the server first tries to load the index from a
 	// snapshot file in this directory (written by a previous run or by
@@ -206,7 +213,12 @@ func NewServer(cfg Config) *Server {
 	s.tracer.Register(cfg.Metrics)
 	s.cache = newIndexCache(ctx, cfg.CacheSize, cfg.Metrics, s.buildIndex)
 	s.cache.migrate = s.migrateIndex
-	if cfg.SnapshotDir != "" {
+	if cfg.SnapshotDir != "" && cfg.Engine != repro.EngineLowDeg {
+		// The disk tier holds core-engine snapshots. Under the forced
+		// lowdeg mode nothing could ever be written or validly restored, so
+		// the tier is not installed at all; under auto the tier still works
+		// for core-routed graphs, and writeSnapshot skips lowdeg-backed
+		// indexes individually.
 		s.graphFP = make(map[string]string, len(cfg.Graphs))
 		for name, g := range cfg.Graphs {
 			s.graphFP[name] = snap.FingerprintString(snap.Fingerprint(g))
@@ -285,6 +297,12 @@ func (s *Server) loadSnapshot(ctx context.Context, key cacheKey) (*repro.Index, 
 func (s *Server) writeSnapshot(ctx context.Context, key cacheKey, ix *repro.Index) bool {
 	if key.version != 0 {
 		return false // disk tier is version-0 only; see loadSnapshot
+	}
+	if ix.Engine() == repro.EngineLowDeg {
+		// The snapshot format serializes core-engine structures; the lowdeg
+		// build is linear anyway, so persisting buys nothing.
+		s.reg.Counter("serve.snapshot.skip_lowdeg").Inc()
+		return false
 	}
 	start := time.Now()
 	if err := repro.SaveIndexSnapshotObs(ctx, ix, s.snapshotPath(key), s.reg); err != nil {
@@ -397,6 +415,7 @@ func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, er
 	ix, err := repro.BuildIndexCtx(ctx, gv.g, q, repro.IndexOptions{
 		Parallelism: s.cfg.Parallelism,
 		Metrics:     s.reg,
+		Engine:      s.cfg.Engine,
 	})
 	if err != nil {
 		s.logEvent(ctx, slog.LevelWarn, "index_build_failed",
@@ -410,6 +429,7 @@ func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, er
 		slog.String("graph", key.graph),
 		slog.String("query_id", qid),
 		slog.Int("version", key.version),
+		slog.String("engine", string(ix.Engine())),
 		slog.Int64("dur_us", time.Since(start).Microseconds()))
 	return ix, nil
 }
@@ -428,6 +448,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	mux.HandleFunc("POST /v1/test", s.instrument("test", s.handleTest))
 	mux.HandleFunc("POST /v1/next", s.instrument("next", s.handleNext))
+	mux.HandleFunc("POST /v1/count", s.instrument("count", s.handleCount))
 	mux.HandleFunc("POST /v1/mutate", s.instrument("mutate", s.handleMutate))
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("POST /v1/cache/flush", s.instrument("flush", s.handleFlush))
@@ -791,6 +812,68 @@ func (s *Server) tupleEndpoint(w http.ResponseWriter, r *http.Request) (*queryEn
 	return entry, req.Tuple, ix, gv.version, true
 }
 
+// handleCount evaluates a counting query `#x̄ φ` at the graph's head
+// version. The count itself is served from the index (cached per index
+// value — an index is an immutable snapshot of one graph version, so the
+// number can never go stale) through the engine's sub-enumeration
+// counting path when the query shape supports one, full enumeration
+// otherwise; Fast in the response tells the two apart.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req CountRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	id := req.ID
+	if id == "" {
+		// Inline registration from the `#x,y: φ` counting form.
+		if req.Graph == "" || req.Query == "" {
+			writeErr(w, r, http.StatusBadRequest, ErrBadRequest, "id, or graph and a '#vars: formula' query, are required")
+			return
+		}
+		if _, ok := s.graphs[req.Graph]; !ok {
+			writeErr(w, r, http.StatusNotFound, ErrUnknownGraph, fmt.Sprintf("graph %q is not loaded", req.Graph))
+			return
+		}
+		q, err := repro.ParseCountQuery(req.Query)
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
+			return
+		}
+		if _, err := q.Plan(); err != nil {
+			writeErr(w, r, http.StatusBadRequest, ErrBadRequest, err.Error())
+			return
+		}
+		canonical := q.Canonical()
+		id = queryID(req.Graph, canonical)
+		s.mu.Lock()
+		if _, ok := s.queries[id]; !ok {
+			s.queries[id] = &queryEntry{id: id, graph: req.Graph, canonical: canonical, q: q, arity: q.Arity()}
+		}
+		s.mu.Unlock()
+	}
+	entry, ok := s.lookupQuery(id)
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, ErrUnknownQuery, fmt.Sprintf("query %q is not registered", id))
+		return
+	}
+	gv := s.graphs[entry.graph].Head()
+	ix, _, err := s.cache.Get(r.Context(), cacheKey{graph: entry.graph, version: gv.version, canonical: entry.canonical})
+	if err != nil {
+		writeCacheErr(w, r, err)
+		return
+	}
+	sp := s.reg.StartSpan(r.Context(), "count.eval")
+	n, fast := ix.SolutionCount()
+	sp.End()
+	writeData(w, r, http.StatusOK, CountResponse{
+		ID:      entry.id,
+		Version: gv.version,
+		Count:   n,
+		Fast:    fast,
+		Engine:  string(ix.Engine()),
+	})
+}
+
 // handleMutate applies one edit batch to a graph and publishes the
 // resulting version. The mutation itself is O(patched graph) — indexes
 // over the new version are derived lazily, on first request, from
@@ -845,9 +928,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	engine := s.cfg.Engine
+	if engine == "" {
+		engine = repro.EngineCore
+	}
 	resp := StatsResponse{
 		Graphs: make(map[string]GraphStats, len(s.graphs)),
 		Cache:  s.cache.Stats(),
+		Engine: string(engine),
 	}
 	for name, gs := range s.graphs {
 		gv := gs.Head()
@@ -861,9 +949,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	for _, e := range s.queries {
-		resp.Queries = append(resp.Queries, QueryStats{
+		qs := QueryStats{
 			ID: e.id, Graph: e.graph, Canonical: e.canonical, Arity: e.arity,
-		})
+		}
+		// Peek (never build) at the head index to report which engine backs
+		// it and the selection inputs that routed it there.
+		gv := s.graphs[e.graph].Head()
+		if ix, ok := s.cache.Peek(cacheKey{graph: e.graph, version: gv.version, canonical: e.canonical}); ok {
+			sel := ix.Selection()
+			qs.Engine = string(ix.Engine())
+			qs.Selection = &sel
+		}
+		resp.Queries = append(resp.Queries, qs)
 	}
 	s.mu.Unlock()
 	sort.Slice(resp.Queries, func(i, j int) bool { return resp.Queries[i].ID < resp.Queries[j].ID })

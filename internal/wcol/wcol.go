@@ -84,9 +84,63 @@ func DegeneracyOrder(g *graph.Graph) []graph.V {
 	return order
 }
 
+// DegeneracyFast returns the graph's degeneracy in O(n + m) with the same
+// bucket queue DegeneracyOrder uses: the answer is the maximum degree a
+// vertex has at the moment it is removed by the smallest-last process.
+// It always equals the quadratic reference Degeneracy below; the engine
+// selection layer of the repro facade calls it on every auto-mode build,
+// so it must stay linear.
+func DegeneracyFast(g *graph.Graph) int {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]graph.V, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	removed := make([]bool, n)
+	left, cur, d := n, 0, 0
+	for left > 0 {
+		for cur > 0 && (cur > maxDeg || len(buckets[cur]) == 0) {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			// Stale bucket entry; the vertex moved to a lower bucket.
+			continue
+		}
+		removed[v] = true
+		left--
+		if cur > d {
+			d = cur
+		}
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], int(w))
+				if deg[w] < cur {
+					cur = deg[w]
+				}
+			}
+		}
+	}
+	return d
+}
+
 // Degeneracy returns the graph's degeneracy (the maximum min-degree over
 // the removal sequence), a classic sparsity measure: wcol_1 equals it
-// under the smallest-last order.
+// under the smallest-last order. It is the O(n²) reference implementation
+// that DegeneracyFast is differential-tested against.
 func Degeneracy(g *graph.Graph) int {
 	n := g.N()
 	deg := make([]int, n)

@@ -127,6 +127,40 @@ func TestDegeneracyValues(t *testing.T) {
 	}
 }
 
+// TestDegeneracyFastMatchesReference pins the O(n+m) bucket implementation
+// (what the repro facade's auto engine selection runs on every build) to
+// the quadratic reference on every sparse generator class plus a dense
+// control, across sizes including the degenerate 0- and 1-vertex graphs.
+func TestDegeneracyFastMatchesReference(t *testing.T) {
+	classes := []gen.Class{
+		gen.Path, gen.Cycle, gen.Star, gen.Caterpillar, gen.BalancedTree,
+		gen.RandomTree, gen.Grid, gen.KingGrid, gen.BoundedDegree,
+		gen.SparseRandom, gen.Clique,
+	}
+	for _, class := range classes {
+		for _, n := range []int{1, 2, 17, 120} {
+			g := gen.Generate(class, n, gen.Options{Seed: 11})
+			want := Degeneracy(g)
+			if got := DegeneracyFast(g); got != want {
+				t.Fatalf("%s n=%d: DegeneracyFast = %d, reference Degeneracy = %d",
+					class, n, got, want)
+			}
+		}
+	}
+	if d := DegeneracyFast(graph.NewBuilder(0, 0).Build()); d != 0 {
+		t.Fatalf("zero-vertex graph: DegeneracyFast = %d, want 0", d)
+	}
+	// A triangle with a pendant vertex: degeneracy 2, max degree 3.
+	b := graph.NewBuilder(4, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	if d := DegeneracyFast(b.Build()); d != 2 {
+		t.Fatalf("triangle+pendant: DegeneracyFast = %d, want 2", d)
+	}
+}
+
 // TestWColOnForests: under the smallest-last order, wcol_1 of a forest is
 // its degeneracy (1), and the star has wcol_r = 1 for all r (only the hub
 // is accessed).

@@ -42,6 +42,7 @@ import (
 	"repro/internal/fo"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/lowdeg"
 	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/store"
@@ -127,6 +128,31 @@ func MustParseQuery(src string, vars ...string) *Query {
 	return q
 }
 
+// ParseCountQuery parses a counting query in the `#vars: formula` form of
+// Grohe–Schweikardt, e.g.
+//
+//	#x,y: dist(x,y) > 2 & C0(y)
+//
+// The variables before the ':' fix the counted columns (they must cover
+// the formula's free variables). The result is an ordinary *Query — build
+// it and call SolutionCount to evaluate `#x̄ φ`.
+func ParseCountQuery(src string) (*Query, error) {
+	vars, phi, err := fo.ParseCount(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Phi: phi, Vars: vars}, nil
+}
+
+// MustParseCountQuery is ParseCountQuery that panics on error.
+func MustParseCountQuery(src string) *Query {
+	q, err := ParseCountQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
 // Arity returns the number of output columns.
 func (q *Query) Arity() int { return len(q.Vars) }
 
@@ -156,11 +182,24 @@ func (q *Query) Canonical() string {
 // query. Once built, its query methods are safe for concurrent use. An
 // Index is an immutable snapshot: ApplyEdits derives the index of an
 // edited graph as a new value and never modifies the receiver.
+//
+// Exactly one of the two engines backs an index: the general nowhere-dense
+// engine (the default) or the bounded-degree engine of
+// Durand–Schweikardt–Segoufin, selected per IndexOptions.Engine; both
+// satisfy the same Next/Test/Enumerate contract, so callers never branch.
 type Index struct {
-	e       *core.Engine
+	e       *core.Engine   // general engine; nil when le backs the index
+	le      *lowdeg.Engine // low-degree engine; nil when e backs the index
+	sel     Selection      // how the engine was chosen
 	k       int
 	q       *Query // retained for snapshots; nil only for zero-value indexes
 	version int    // mutation generation; 0 for a fresh build
+
+	// SolutionCount cache: `#x̄ φ` is a property of the (graph, query)
+	// version, so it is computed at most once per Index value.
+	countOnce sync.Once
+	countVal  int
+	countFast bool
 }
 
 // Metrics is an observability registry (internal/obs): atomic counters
@@ -196,6 +235,10 @@ type IndexOptions struct {
 	// engine.test_ns, engine.delay_ns). Nil (the default) keeps the
 	// answering hot path free of timing work.
 	Metrics *Metrics
+	// Engine selects the enumeration engine: EngineCore (also the ""
+	// default), EngineLowDeg, or EngineAuto, which routes on the graph's
+	// maximum degree and degeneracy. See EngineKind and WithEngine.
+	Engine EngineKind
 }
 
 // BuildIndex performs the pseudo-linear preprocessing of Theorem 2.3,
@@ -227,70 +270,191 @@ func BuildIndexCtx(ctx context.Context, g *Graph, q *Query, opt IndexOptions) (*
 	if err != nil {
 		return nil, err
 	}
+	sel, err := selectEngine(g, opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Chosen == EngineLowDeg {
+		le, err := lowdeg.Preprocess(g, lq, lowdeg.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics, Ctx: ctx})
+		if err != nil {
+			return nil, err
+		}
+		return &Index{le: le, sel: sel, k: lq.K, q: q}, nil
+	}
 	e, err := core.Preprocess(g, lq, core.Options{Parallelism: opt.Parallelism, Obs: opt.Metrics, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{e: e, k: lq.K, q: q}, nil
+	return &Index{e: e, sel: sel, k: lq.K, q: q}, nil
 }
 
 // Next returns the lexicographically smallest solution ≥ tuple, in
 // constant time (Theorem 2.3), or ok=false if there is none.
-func (ix *Index) Next(tuple []int) ([]int, bool) { return ix.e.NextGeq(tuple) }
+func (ix *Index) Next(tuple []int) ([]int, bool) {
+	if ix.le != nil {
+		return ix.le.NextGeq(tuple)
+	}
+	return ix.e.NextGeq(tuple)
+}
 
 // Test reports whether tuple is a solution, in constant time
 // (Corollary 2.4).
-func (ix *Index) Test(tuple []int) bool { return ix.e.Test(tuple) }
+func (ix *Index) Test(tuple []int) bool {
+	if ix.le != nil {
+		return ix.le.Test(tuple)
+	}
+	return ix.e.Test(tuple)
+}
 
 // NextLast returns, for a fixed (k−1)-column prefix, the smallest value
 // b′ ≥ b completing it to a solution (Lemma 5.2) — "page through the
 // partners of a prefix" in constant time per step.
-func (ix *Index) NextLast(prefix []int, b int) (int, bool) { return ix.e.NextLast(prefix, b) }
+func (ix *Index) NextLast(prefix []int, b int) (int, bool) {
+	if ix.le != nil {
+		return ix.le.NextLast(prefix, b)
+	}
+	return ix.e.NextLast(prefix, b)
+}
 
 // Enumerate yields all solutions in increasing lexicographic order with
 // constant delay (Corollary 2.5) until exhaustion or until yield returns
 // false. The slice passed to yield is reused across calls.
-func (ix *Index) Enumerate(yield func([]int) bool) { ix.e.Enumerate(yield) }
+func (ix *Index) Enumerate(yield func([]int) bool) {
+	if ix.le != nil {
+		ix.le.Enumerate(yield)
+		return
+	}
+	ix.e.Enumerate(yield)
+}
 
 // Count returns the number of solutions by full enumeration.
-func (ix *Index) Count() int { return ix.e.Count() }
-
-// FastCount returns the number of solutions without enumerating them
-// (pseudo-linear counting, supported for arities 1 and 2); it falls back
-// to enumeration for higher arities.
-func (ix *Index) FastCount() int {
-	if n, ok := ix.e.FastCount(); ok {
-		return n
+func (ix *Index) Count() int {
+	if ix.le != nil {
+		return ix.le.Count()
 	}
 	return ix.e.Count()
 }
 
-// Iterator is a pull-style cursor over the solution set in lexicographic
-// order with constant-delay Next and constant-time Seek (Theorem 2.3).
-// Next reuses an internal buffer to stay allocation-free: the returned
-// slice is valid only until the next Next or Seek call — copy it to
-// retain it, exactly as with Enumerate.
+// FastCount returns the number of solutions without enumerating them when
+// the query shape supports it (arities 1 and 2, and connected higher
+// arities); it falls back to enumeration otherwise.
+func (ix *Index) FastCount() int {
+	n, _ := ix.SolutionCount()
+	return n
+}
+
+// SolutionCount evaluates the counting query `#x̄ φ` (Grohe–Schweikardt):
+// the number of solutions over the current graph version. fast reports
+// whether the count was produced by the engine's sub-enumeration counting
+// path rather than by full enumeration. The result is computed once and
+// cached — an Index is an immutable snapshot, so the count can never go
+// stale.
+func (ix *Index) SolutionCount() (n int, fast bool) {
+	ix.countOnce.Do(func() {
+		if ix.le != nil {
+			if c, ok := ix.le.FastCount(); ok {
+				ix.countVal, ix.countFast = c, true
+				return
+			}
+			ix.countVal = ix.le.Count()
+			return
+		}
+		if c, ok := ix.e.FastCount(); ok {
+			ix.countVal, ix.countFast = c, true
+			return
+		}
+		ix.countVal = ix.e.Count()
+	})
+	return ix.countVal, ix.countFast
+}
+
+// Iterator is the cursor implementation of the core engine.
+//
+// Deprecated: kept as an alias for source compatibility; Index.Iterator
+// and Index.IteratorFrom now return the engine-independent Cursor.
 type Iterator = core.Iterator
 
+// Cursor is a pull-style cursor over the solution set in lexicographic
+// order with constant-delay Next and constant-time Seek (Theorem 2.3),
+// implemented by both engines. Next reuses an internal buffer to stay
+// allocation-free: the returned slice is valid only until the next Next
+// or Seek call — copy it to retain it, exactly as with Enumerate.
+type Cursor interface {
+	// Seek repositions the cursor at the smallest solution ≥ a.
+	Seek(a []int)
+	// HasNext reports whether a solution is pending.
+	HasNext() bool
+	// Next returns the pending solution and advances, or ok=false when
+	// the solution set is exhausted.
+	Next() ([]int, bool)
+}
+
 // Iterator returns a cursor positioned at the first solution.
-func (ix *Index) Iterator() *Iterator { return ix.e.Iterator() }
+func (ix *Index) Iterator() Cursor {
+	if ix.le != nil {
+		return ix.le.Iterator()
+	}
+	return ix.e.Iterator()
+}
 
 // IteratorFrom returns a cursor positioned at the smallest solution ≥ a.
-func (ix *Index) IteratorFrom(a []int) *Iterator { return ix.e.IteratorFrom(a) }
+func (ix *Index) IteratorFrom(a []int) Cursor {
+	if ix.le != nil {
+		return ix.le.IteratorFrom(a)
+	}
+	return ix.e.IteratorFrom(a)
+}
 
 // Arity returns the tuple width of the indexed query.
 func (ix *Index) Arity() int { return ix.k }
 
-// Stats exposes preprocessing and answering statistics.
-func (ix *Index) Stats() core.Stats { return ix.e.Stats() }
+// Stats exposes preprocessing and answering statistics. For a
+// lowdeg-backed index the cover/kernel/skip fields are zero (that engine
+// builds none of them) and the shared fields — starter sizes, candidate
+// and local-evaluation counters, workers — carry the lowdeg numbers; see
+// LowDegStats for the engine-specific view.
+func (ix *Index) Stats() core.Stats {
+	if ix.le != nil {
+		ls := ix.le.Stats()
+		return core.Stats{
+			StarterSizes:  ls.StarterSizes,
+			Candidates:    ls.Candidates,
+			DeadEnds:      ls.DeadEnds,
+			LocalEvals:    ls.LocalEvals,
+			LocalEvalHits: ls.LocalEvalHits,
+			Workers:       ls.Workers,
+			StarterWall:   ls.StarterWall,
+		}
+	}
+	return ix.e.Stats()
+}
+
+// LowDegStats returns the low-degree engine's statistics; ok is false for
+// a core-backed index.
+func (ix *Index) LowDegStats() (s lowdeg.Stats, ok bool) {
+	if ix.le == nil {
+		return lowdeg.Stats{}, false
+	}
+	return ix.le.Stats(), true
+}
 
 // Metrics returns the registry the index records into, or nil when the
 // index was built without IndexOptions.Metrics.
-func (ix *Index) Metrics() *Metrics { return ix.e.Obs() }
+func (ix *Index) Metrics() *Metrics {
+	if ix.le != nil {
+		return ix.le.Obs()
+	}
+	return ix.e.Obs()
+}
 
-// Explain renders the index structure (clauses, starter lists, covers) —
-// the EXPLAIN output for the preprocessed query.
-func (ix *Index) Explain() string { return ix.e.Explain() }
+// Explain renders the index structure (clauses, starter lists, covers or
+// balls) — the EXPLAIN output for the preprocessed query.
+func (ix *Index) Explain() string {
+	if ix.le != nil {
+		return ix.le.Explain()
+	}
+	return ix.e.Explain()
+}
 
 // Plan renders the compiled decomposed normal form of the query without
 // building an index.

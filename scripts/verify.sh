@@ -8,7 +8,11 @@
 #            serving layer (internal/serve) additionally runs its full
 #            suite under -race — it is the concurrency surface of the repo
 #            — and the snapshot decoder fuzzes for 30s (FuzzSnapshotLoad):
-#            hostile bytes must yield typed errors, never a panic or OOM
+#            hostile bytes must yield typed errors, never a panic or OOM;
+#            the cross-engine fuzzer (FuzzEngineEquivalence) drives the
+#            core engine, the lowdeg engine and the naive oracle through
+#            the shared conformance checks on random bounded-degree
+#            graphs for another 30s
 #   tier 3 — performance guards:
 #            (a) metrics-overhead guard: NextGeq with metrics disabled must
 #                not be slower than with metrics enabled (the nil-sink fast
@@ -34,6 +38,11 @@
 #                (the §3 n^ε update regime), and the mutated index must
 #                keep the zero-alloc Iterator.Next/Index.Test hot paths
 #                (see README "Mutations")
+#            (g) lowdeg guards (LOWDEG_GUARD=1): on the degree-bounded
+#                E17 graph the lowdeg build must be ≥5× cheaper than the
+#                core build, and the lowdeg Iterator.Next / Test /
+#                NextLast hot paths must report 0 allocs/op (see README
+#                "Engine modes")
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -66,6 +75,8 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     go test -run FuzzSnapshotLoad -fuzz FuzzSnapshotLoad -fuzztime 30s ./internal/snap/
     echo "== tier 2: mutation-vs-rebuild fuzz (30s) =="
     go test -run FuzzMutateVsRebuild -fuzz FuzzMutateVsRebuild -fuzztime 30s ./internal/core/
+    echo "== tier 2: cross-engine equivalence fuzz (30s) =="
+    go test -run FuzzEngineEquivalence -fuzz FuzzEngineEquivalence -fuzztime 30s ./internal/lowdeg/
 fi
 
 if [[ "$tier" == "3" || "$tier" == "all" ]]; then
@@ -81,6 +92,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     TRACE_GUARD=1 go test -run 'TestTraced|TestTraceDisabledOverheadGuard' -count=1 -v ./internal/serve/
     echo "== tier 3: mutation guards (MUT_GUARD=1) =="
     MUT_GUARD=1 go test -run 'TestMutateSpeedGuard|TestMutateZeroAllocsGuard' -count=1 -v .
+    echo "== tier 3: lowdeg guards (LOWDEG_GUARD=1) =="
+    LOWDEG_GUARD=1 go test -run 'TestLowdeg' -count=1 -v ./internal/lowdeg/
 fi
 
 echo "verify: OK (tier $tier)"

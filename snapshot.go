@@ -31,6 +31,13 @@ func (ix *Index) WriteSnapshotObs(ctx context.Context, w io.Writer, m *Metrics) 
 	if ix.q == nil {
 		return fmt.Errorf("repro: index has no query attached; only indexes from BuildIndex can be snapshotted")
 	}
+	if ix.le != nil {
+		// The snapshot format serializes the core engine's structures
+		// (cover, kernels, distance recursion, skip pointers); the lowdeg
+		// engine has none of them, and its linear build makes persisting
+		// pointless — rebuild instead.
+		return fmt.Errorf("repro: a lowdeg-backed index cannot be snapshotted; rebuild it (the low-degree preprocessing is linear)")
+	}
 	lq, err := ix.q.compile()
 	if err != nil {
 		return err
@@ -161,7 +168,15 @@ func restoreSnapshotCtx(ctx context.Context, s *snap.Snapshot, opt IndexOptions)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{e: e, k: lq.K, q: q}, nil
+	// Snapshots always hold the core engine (WriteSnapshotObs rejects
+	// lowdeg-backed indexes), so the restored selection is a forced core
+	// choice with unexamined estimates.
+	sel := Selection{
+		Requested: EngineCore, Chosen: EngineCore,
+		MaxDegree: -1, Degeneracy: -1,
+		DegreeLimit: AutoMaxDegree, DegeneracyLimit: AutoMaxDegeneracy,
+	}
+	return &Index{e: e, sel: sel, k: lq.K, q: q}, nil
 }
 
 // SnapshotGraph returns the graph embedded in snapshot bytes without
