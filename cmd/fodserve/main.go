@@ -124,7 +124,12 @@ func main() {
 	default:
 		fail(fmt.Errorf("-log-format %q: want json, text, or off", *logFormat))
 	}
+	// The run context parents every index build; it is canceled on process
+	// exit so nothing outlives main even if the drain path is skipped.
+	runCtx, stopBuilds := context.WithCancel(context.Background())
+	defer stopBuilds()
 	srv := serve.NewServer(serve.Config{
+		BaseContext:    runCtx,
 		Graphs:         graphs,
 		CacheSize:      *cacheSize,
 		DefaultLimit:   *defaultLimit,

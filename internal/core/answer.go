@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -203,6 +204,11 @@ func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
 // NextGeq step — the paper's "delay", excluding the caller's yield body)
 // is recorded into the engine.delay_ns histogram, which is what the
 // fodbench delay profiler reports against the constant-delay claim.
+//
+//fod:ctxok the yield callback is the cancellation path: any caller that
+// must honor a deadline returns false from yield (CountCtx does exactly
+// that); a ctx parameter here would put a select on the constant-delay
+// loop of every caller, cancellable or not.
 func (e *Engine) Enumerate(yield func([]graph.V) bool) {
 	if e.g.N() == 0 {
 		return
@@ -238,6 +244,36 @@ func (e *Engine) Count() int {
 	n := 0
 	e.Enumerate(func([]graph.V) bool { n++; return true })
 	return n
+}
+
+// countCheckEvery is how many answers a cancellable count produces
+// between ctx polls: frequent enough that a canceled request stops after
+// a bounded number of constant-delay steps, rare enough that the poll
+// cost vanishes against the enumeration itself.
+const countCheckEvery = 4096
+
+// CountCtx counts by full enumeration with cooperative cancellation,
+// polling ctx every countCheckEvery answers. It returns ctx.Err() if the
+// context was canceled before the solution set was exhausted.
+func (e *Engine) CountCtx(ctx context.Context) (int, error) {
+	n := 0
+	canceled := false
+	e.Enumerate(func([]graph.V) bool {
+		n++
+		if n%countCheckEvery == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = true
+				return false
+			default:
+			}
+		}
+		return true
+	})
+	if canceled {
+		return 0, ctx.Err()
+	}
+	return n, nil
 }
 
 // nextClause returns the smallest tuple ≥ a matching the clause, or nil.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/fo"
@@ -88,6 +90,37 @@ func TestFastCountConnectedTernary(t *testing.T) {
 				t.Fatalf("%s on %s: FastCount %d != Count %d", src, class, fast, slow)
 			}
 		}
+	}
+}
+
+// TestCountCtx pins the cancellable count: equal to Count under a live
+// context, and a typed error (not a partial count) once the context is
+// canceled. The far query has ~n² answers, far past the poll interval.
+func TestCountCtx(t *testing.T) {
+	phi := fo.MustParse("dist(x,y) > 2 & C0(y)")
+	q, err := Compile(phi, []fo.Var{"x", "y"}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generate(gen.Grid, 300, gen.Options{Seed: 7, Colors: 1})
+	e, err := Preprocess(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.CountCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Count(); n != want {
+		t.Fatalf("CountCtx %d != Count %d", n, want)
+	}
+	if n <= countCheckEvery {
+		t.Fatalf("fixture too small to exercise the poll: %d answers", n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := e.CountCtx(ctx); !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("canceled CountCtx = (%d, %v), want (0, context.Canceled)", n, err)
 	}
 }
 

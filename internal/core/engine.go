@@ -105,6 +105,7 @@ type Engine struct {
 
 	dix     *dist.Index
 	evPool  sync.Pool // *fo.Evaluator with dist atoms served by dix
+	envPool sync.Pool // fo.Env scratch for guarded local evaluations
 	cov     *cover.Cover
 	bagSubs []*graph.Sub   // only materialized for non-guarded queries
 	bagBFS  []*scratchPool // per-bag BFS scratch
@@ -228,6 +229,7 @@ func Preprocess(g *graph.Graph, q *LocalQuery, opt Options) (*Engine, error) {
 		ev.UseDistTester(e.dix)
 		return ev
 	}
+	e.envPool.New = func() any { return fo.Env{} }
 
 	// Cover radius. The kernels make "outside every kernel ⇒ far from
 	// every previous element" sound, which needs bags ⊇ N_{2R}(center of
@@ -516,6 +518,7 @@ func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
 	if c.starterReady && len(vals) == 1 {
 		return c.inStart[vals[0]]
 	}
+	//fod:coldpath memo key of the general-component path — singleton components (the pinned 0-alloc guards) take the starterReady fast path above
 	key := tupleKey(vals)
 	if r, ok := c.memo.Load(key); ok {
 		e.ctr.localEvalHits.Add(1)
@@ -533,14 +536,20 @@ func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
 			domain[i] = int(w)
 		}
 		e.gbfs.put(bfs)
-		env := fo.Env{}
+		env := e.envPool.Get().(fo.Env)
+		clear(env)
 		for i, v := range vals {
 			env[c.vars[i]] = v
 		}
 		ev := e.evPool.Get().(*fo.Evaluator)
 		res = ev.EvalOver(c.psi, env, domain)
 		e.evPool.Put(ev)
+		e.envPool.Put(env)
 	} else {
+		// Hand-built (uncertified) queries only: the pinned 0-alloc delay
+		// guards all run compiler-certified queries, and the memo above
+		// makes this a once-per-tuple cost, not a per-answer one.
+		//fod:coldpath memoized fallback for uncertified queries
 		res = e.exactBallEval(c, vals)
 	}
 	c.memo.Store(key, res)

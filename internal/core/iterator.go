@@ -46,6 +46,10 @@ func (e *Engine) IteratorFrom(a []graph.V) *Iterator {
 // Seek repositions the cursor at the smallest solution ≥ a (Theorem 2.3:
 // constant time per clause). Buffers are created on first use and reused
 // by every later Seek and Next.
+//
+//fod:ctxok the loop is over the compiled query's clauses — work bounded
+// by query size, not by the graph or the solution set, so there is
+// nothing to cancel mid-way.
 func (it *Iterator) Seek(a []graph.V) {
 	if it.bufs == nil {
 		n := len(it.e.clauses)

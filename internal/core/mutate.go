@@ -137,6 +137,7 @@ func (e *Engine) ApplyEdits(ctx context.Context, edits []graph.Edit) (*Engine, e
 		ev.UseDistTester(e2.dix)
 		return ev
 	}
+	e2.envPool.New = func() any { return fo.Env{} }
 	e2.liveIdx = append([]int(nil), e.liveIdx...)
 	e2.stats = Stats{
 		CoverRadius: e.stats.CoverRadius,

@@ -46,6 +46,11 @@ type CompParts struct {
 // size of everything else combined. The restored cover rebuilds them
 // lazily under the same sync.Once a fresh build uses, so behavior is
 // identical either way.
+//
+//fod:ctxok the loops here are over the query's clauses and components
+// (query-size-bounded); the expensive part-extraction calls inside are
+// single passes over already-built structures, and the serve snapshot
+// tier checks its ctx between tiers, not inside the codec.
 func (e *Engine) SnapshotParts() EngineParts {
 	p := EngineParts{
 		LiveIdx: append([]int(nil), e.liveIdx...),
@@ -123,6 +128,7 @@ func RestoreEngine(g *graph.Graph, q *LocalQuery, p EngineParts, opt Options) (*
 		ev.UseDistTester(e.dix)
 		return ev
 	}
+	e.envPool.New = func() any { return fo.Env{} }
 
 	coverR := 2 * e.r
 	if !q.Guarded {

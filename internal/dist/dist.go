@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cover"
@@ -256,21 +257,15 @@ func newSmallTableCapped(g *graph.Graph, r, maxCells int, pool *par.Pool) (*smal
 // the cell cap; it only ever turns an already-doomed computation short, so
 // checking it cannot change the (deterministic) outcome.
 type abortFlag struct {
-	mu   sync.Mutex
-	set_ bool
+	flag atomic.Bool
 }
 
 func (a *abortFlag) set() {
-	a.mu.Lock()
-	a.set_ = true
-	a.mu.Unlock()
+	a.flag.Store(true)
 }
 
 func (a *abortFlag) get() bool {
-	a.mu.Lock()
-	v := a.set_
-	a.mu.Unlock()
-	return v
+	return a.flag.Load()
 }
 
 // smallTableRange builds the ball lists for vertices [lo, hi); off is

@@ -31,17 +31,20 @@ func (b *BFS) Ball(src V, r int) []int32 {
 // BallMulti computes N_r(ā) = ∪_i N_r(a_i) for a tuple of sources.
 func (b *BFS) BallMulti(srcs []V, r int) []int32 {
 	b.cur++
-	b.queue = b.queue[:0]
+	// Work on a local slice and write it back once: appends to a plain
+	// local stay on the stack-friendly growth path, and the scratch is
+	// amortized across calls exactly as before.
+	q := b.queue[:0]
 	for _, s := range srcs {
 		if b.epoch[s] == b.cur {
 			continue
 		}
 		b.epoch[s] = b.cur
 		b.dist[s] = 0
-		b.queue = append(b.queue, int32(s))
+		q = append(q, int32(s))
 	}
-	for head := 0; head < len(b.queue); head++ {
-		v := b.queue[head]
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		d := b.dist[v]
 		if int(d) >= r {
 			continue
@@ -52,10 +55,11 @@ func (b *BFS) BallMulti(srcs []V, r int) []int32 {
 			}
 			b.epoch[w] = b.cur
 			b.dist[w] = d + 1
-			b.queue = append(b.queue, w)
+			q = append(q, w)
 		}
 	}
-	return b.queue
+	b.queue = q
+	return q
 }
 
 // Dist returns the distance from the sources of the last search to v, or -1

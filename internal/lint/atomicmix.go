@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the analyzer guarding the repo's memory-model
+// discipline around sync/atomic. Two rules:
+//
+//  1. A struct field passed to the old-style sync/atomic functions
+//     (atomic.LoadInt64(&s.n), atomic.AddUint32(&s.c, 1), …) must never
+//     also be read or written plainly: the plain access races with the
+//     atomic one, and the race detector only catches it when both sides
+//     fire concurrently in a test. (The typed atomics — atomic.Int64,
+//     atomic.Pointer[T] — make this mistake impossible, which is why the
+//     repo uses them; this rule keeps the old style from creeping back
+//     half-converted.)
+//
+//  2. A struct mutex whose every critical section guards exactly one
+//     plain scalar or pointer field is a hand-rolled atomic: replace the
+//     mutex + field pair with the matching sync/atomic typed value. This
+//     is both simpler and faster (no convoy on the lock), and it is how
+//     the version-chain and abort-flag code is expected to be written.
+//     Mutexes guarding multiple fields, non-scalar state (maps, slices),
+//     or fields also accessed outside the lock are real mutexes and are
+//     left alone.
+//
+// `//fod:atomicok` on the field (or its struct) acknowledges a reviewed
+// exception.
+func AtomicMix() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "no field accessed both via sync/atomic and plainly; no mutex that is a hand-rolled atomic",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(pass *Pass) {
+	checkAtomicPlainMix(pass)
+	checkHandRolledAtomics(pass)
+}
+
+// checkAtomicPlainMix implements rule 1.
+func checkAtomicPlainMix(pass *Pass) {
+	// Pass A: fields whose address flows into an old-style atomic call,
+	// and the source ranges of those calls (accesses inside them are the
+	// atomic accesses, not plain ones).
+	atomicFields := map[*types.Var][]token.Pos{}
+	type posRange struct{ lo, hi token.Pos }
+	var atomicCalls []posRange
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := packageOf(pass, sel.X)
+			if pkg == nil || pkg.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			atomicCalls = append(atomicCalls, posRange{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				u, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if f := fieldObjOf(pass, u.X); f != nil {
+					atomicFields[f] = append(atomicFields[f], call.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	inAtomicCall := func(pos token.Pos) bool {
+		for _, r := range atomicCalls {
+			if pos >= r.lo && pos <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass B: plain accesses to those fields.
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldObjOf(pass, sel)
+			if f == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[f]; !isAtomic || inAtomicCall(sel.Pos()) {
+				return true
+			}
+			if pass.hasAnnotation(file, sel, "fod:atomicok") {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"field %s is accessed via sync/atomic elsewhere but plainly here (races with the atomic access; use atomic everywhere or a typed atomic)",
+				f.Name())
+			return true
+		})
+	}
+}
+
+// fieldObjOf resolves expr to the struct field it selects, or nil.
+func fieldObjOf(pass *Pass, expr ast.Expr) *types.Var {
+	sel, ok := unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// checkHandRolledAtomics implements rule 2.
+func checkHandRolledAtomics(pass *Pass) {
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if pass.hasAnnotation(file, ts, "fod:atomicok") || structSpecAnnotated(pass, file, ts) {
+				return true
+			}
+			checkStructMutexes(pass, file, ts, st)
+			return true
+		})
+	}
+}
+
+// structSpecAnnotated also honors an annotation on the enclosing type
+// declaration's doc line (`//fod:atomicok` above `type x struct {`).
+func structSpecAnnotated(pass *Pass, file *ast.File, ts *ast.TypeSpec) bool {
+	return pass.hasAnnotation(file, ts.Name, "fod:atomicok")
+}
+
+func checkStructMutexes(pass *Pass, file *ast.File, ts *ast.TypeSpec, st *ast.StructType) {
+	obj, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	// The struct's field objects, and its mutex-typed fields.
+	fieldSet := map[*types.Var]*ast.Ident{}
+	var mutexes []*types.Var
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			v, _ := pass.Info.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			fieldSet[v] = name
+			if isSyncMutex(v.Type()) {
+				mutexes = append(mutexes, v)
+			}
+		}
+	}
+	if len(mutexes) == 0 {
+		return
+	}
+
+	methods := structMethods(pass, obj)
+	for _, mu := range mutexes {
+		if pass.hasAnnotation(file, fieldSet[mu], "fod:atomicok") {
+			continue
+		}
+		sections := 0
+		guarded := map[*types.Var]bool{}
+		outside := map[*types.Var]bool{}
+		for _, m := range methods {
+			var regions []critRegion
+			for _, reg := range mutexRegions(pass, m) {
+				if reg.muObj == mu {
+					regions = append(regions, reg)
+					sections++
+				}
+			}
+			inRegions := func(pos token.Pos) bool {
+				for _, reg := range regions {
+					for _, stmt := range reg.stmts {
+						if within(pos, stmt) {
+							return true
+						}
+					}
+				}
+				return false
+			}
+			ast.Inspect(m.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f := fieldObjOf(pass, sel)
+				if f == nil || f == mu {
+					return true
+				}
+				if _, ours := fieldSet[f]; !ours {
+					return true
+				}
+				if inRegions(sel.Pos()) {
+					guarded[f] = true
+				} else {
+					outside[f] = true
+				}
+				return true
+			})
+		}
+		if sections < 2 || len(guarded) != 1 {
+			continue
+		}
+		var f *types.Var
+		for g := range guarded {
+			f = g
+		}
+		if outside[f] || !atomicReplaceable(f.Type()) {
+			continue
+		}
+		if pass.hasAnnotation(file, fieldSet[f], "fod:atomicok") {
+			continue
+		}
+		pass.Report(fieldSet[mu].Pos(),
+			"mutex %s of %s guards only the scalar field %s across its %d critical sections — a hand-rolled atomic; use the matching sync/atomic typed value (or annotate //fod:atomicok)",
+			mu.Name(), ts.Name.Name, f.Name(), sections)
+	}
+}
+
+// structMethods finds the FuncDecls in this package whose receiver base
+// type is obj.
+func structMethods(pass *Pass, obj *types.TypeName) []*ast.FuncDecl {
+	var methods []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			t := pass.Info.TypeOf(fn.Recv.List[0].Type)
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj() == obj {
+				methods = append(methods, fn)
+			}
+		}
+	}
+	return methods
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync" &&
+		(o.Name() == "Mutex" || o.Name() == "RWMutex")
+}
+
+// atomicReplaceable reports whether a field's type has a drop-in
+// sync/atomic replacement: bool, the fixed-width and platform integers,
+// uintptr, or any single pointer.
+func atomicReplaceable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.Int, types.Int32, types.Int64,
+			types.Uint, types.Uint32, types.Uint64, types.Uintptr:
+			return true
+		}
+		return false
+	case *types.Pointer:
+		return true
+	}
+	return false
+}

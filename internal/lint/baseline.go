@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The baseline file is the reviewed suppression mechanism of the driver:
+// a finding that is understood, justified, and deliberately kept (e.g. a
+// writer lock intentionally serializing mutations while the edit
+// application fans out) lands here instead of an inline annotation when
+// the justification is about a whole design, not one line. Entries are
+// keyed by analyzer, repo-relative file and exact message — no line
+// numbers, so unrelated edits to the file do not invalidate them — and
+// the driver reports entries that no longer match anything, so the file
+// cannot rot silently.
+
+// BaselineEntry suppresses the diagnostics of one analyzer in one file
+// with one exact message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// Baseline is the parsed suppression file (lint.baseline.json).
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline, not an error.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %v", err)
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// RelFile renders a diagnostic's file repo-relative with forward
+// slashes — the form baseline entries and -json output use.
+func RelFile(moduleDir, filename string) string {
+	if rel, err := filepath.Rel(moduleDir, filename); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Filter splits diags into kept (not baselined) and suppressed, and
+// reports the baseline entries that matched nothing (stale entries a
+// reviewer should delete).
+func (b *Baseline) Filter(moduleDir string, diags []Diagnostic) (kept []Diagnostic, suppressed int, unused []BaselineEntry) {
+	matched := make([]bool, len(b.Findings))
+	for _, d := range diags {
+		file := RelFile(moduleDir, d.Pos.Filename)
+		hit := false
+		for i, e := range b.Findings {
+			if e.Analyzer == d.Analyzer && e.File == file && e.Message == d.Message {
+				matched[i] = true
+				hit = true
+			}
+		}
+		if hit {
+			suppressed++
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for i, ok := range matched {
+		if !ok {
+			unused = append(unused, b.Findings[i])
+		}
+	}
+	return kept, suppressed, unused
+}

@@ -36,6 +36,7 @@ func ErrDrop() *Analyzer {
 func inErrDropScope(pkgPath string) bool {
 	return strings.Contains(pkgPath, "internal/serve") ||
 		strings.Contains(pkgPath, "internal/snap") ||
+		strings.Contains(pkgPath, "internal/lint") || // the linter lints itself
 		strings.Contains(pkgPath, "/cmd/")
 }
 

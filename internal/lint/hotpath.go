@@ -5,12 +5,11 @@ import (
 	"go/types"
 )
 
-// HotPath returns the analyzer enforcing the constant-delay contract:
-// a function whose doc comment carries `//fod:hotpath` is part of the
-// answering phase of Theorem 2.3 (NextGeq / Test / skip-pointer lookup /
-// store successor search), whose per-call cost the paper bounds by a
-// constant. Inside such a function the analyzer forbids the constructs
-// that silently break that bound:
+// This file holds the per-function-body checks of the hot-path contract:
+// a function on the answering phase of Theorem 2.3 (NextGeq / Test /
+// skip-pointer lookup / store successor search), whose per-call cost the
+// paper bounds by a constant, must stay free of the constructs that
+// silently break that bound:
 //
 //   - calls into package fmt (formatting allocates and reflects)
 //   - time-dependent calls (time.Now, time.Since, …): the hot path must
@@ -28,16 +27,13 @@ import (
 //     reads the clock twice and may take a trace lock, so per-answer
 //     tracing would turn O(1) delay into O(instrumentation)
 //
-// The dynamic twin of this analyzer is the LINT_GUARD AllocsPerRun suite
-// in internal/core, which pins Iterator.Next and Engine.Test at
-// 0 allocs/op (see DESIGN.md "Static analysis").
-func HotPath() *Analyzer {
-	return &Analyzer{
-		Name: "hotpath",
-		Doc:  "fod:hotpath functions must stay allocation- and clock-free",
-		Run:  runHotPath,
-	}
-}
+// These checks used to ship as the per-function `hotpath` analyzer
+// (PR 5); they are now the body-check half of `hotpath-transitive`
+// (hotpathtrans.go), which runs them over every function in the call
+// closure of a `//fod:hotpath` root, not just the annotated roots. The
+// dynamic twin is the LINT_GUARD AllocsPerRun suite in internal/core,
+// which pins Iterator.Next and Engine.Test at 0 allocs/op (see DESIGN.md
+// "Static analysis").
 
 // timeDependent are the clock-reading functions of package time.
 var timeDependent = map[string]bool{
@@ -45,26 +41,17 @@ var timeDependent = map[string]bool{
 	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
 }
 
-func runHotPath(pass *Pass) {
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !funcHasAnnotation(fn, "fod:hotpath") {
-				continue
-			}
-			checkHotFunc(pass, fn)
-		}
-	}
-}
-
 func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 	allowedAppends := localAppendTargets(pass, fn.Body)
 	loopVars := loopVarObjects(pass, fn.Body)
+	coldCalls := panicArgCalls(pass, fn.Body)
 
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotCall(pass, fn, n, allowedAppends)
+			if !coldCalls[n] {
+				checkHotCall(pass, fn, n, allowedAppends)
+			}
 		case *ast.CompositeLit:
 			if t := pass.Info.TypeOf(n); t != nil {
 				switch t.Underlying().(type) {
@@ -246,6 +233,37 @@ func isLocalVar(pass *Pass, id *ast.Ident) bool {
 	}
 	// Package-scope variables are globals; anything nested deeper is local.
 	return v.Parent() != pass.Pkg.Scope()
+}
+
+// panicArgCalls collects the call expressions nested inside the
+// arguments of panic(...) calls: a panic path is never taken on the
+// success path the delay bound covers, so formatting the panic message
+// (fmt.Sprintf and friends) is exempt from the hot-path rules.
+func panicArgCalls(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	cold := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					cold[c] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return cold
 }
 
 // loopVarObjects collects the objects declared as range/for loop variables

@@ -91,7 +91,28 @@ func runGolden(t *testing.T, rule, pkgPath string, a *Analyzer) {
 }
 
 func TestHotPathGolden(t *testing.T) {
-	runGolden(t, "hotpath", "example.com/hot", HotPath())
+	runGolden(t, "hotpath", "example.com/hot", HotPathTrans())
+}
+
+// TestHotPathTransGolden exercises the call-graph closure: interface
+// dispatch, address-taken func values, generics, coldpath pruning.
+func TestHotPathTransGolden(t *testing.T) {
+	runGolden(t, "hotpathtrans", "example.com/engine", HotPathTrans())
+}
+
+// TestCtxFlowGolden loads the fixture under a path that is inside both
+// the serve scope and (via its /reproroot suffix) the module-root scope,
+// so all three ctxflow rules run against one package.
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", "example.com/internal/serve/reproroot", CtxFlow())
+}
+
+func TestLockHeldGolden(t *testing.T) {
+	runGolden(t, "lockheld", "example.com/held", LockHeld())
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, "atomicmix", "example.com/mix", AtomicMix())
 }
 
 func TestMapOrderGolden(t *testing.T) {
@@ -143,11 +164,15 @@ func TestErrDropSnapScope(t *testing.T) {
 	}
 }
 
-// TestAnalyzerDocs keeps every analyzer self-describing for -list.
+// TestAnalyzerDocs keeps every analyzer self-describing for -list, and
+// enforces the Run/RunProgram exactly-one contract.
 func TestAnalyzerDocs(t *testing.T) {
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing a name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunProgram", a.Name)
 		}
 	}
 }

@@ -1,0 +1,383 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockHeld returns the interprocedural lock-discipline analyzer: while a
+// sync.Mutex or sync.RWMutex is held, a function must not perform — or
+// call anything that transitively performs — a channel operation
+// (send, receive, close, blocking select, range over a channel), a Wait
+// (sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep), I/O (calls into os,
+// io, net, net/http, bufio, log, log/slog, encoding/json codecs,
+// fmt.Fprint*), or a callback through a func value. Any of these can
+// stall or re-enter for unbounded time, turning every other contender of
+// the lock into a convoy — in the serving layer that is a liveness bug:
+// the singleflight cache and the MVCC version chains sit on every
+// request path.
+//
+// Effects propagate over the call graph: `f` holding a lock while
+// calling `g` is flagged if anything reachable from `g` blocks, and the
+// diagnostic carries the call chain down to the blocking operation.
+// Goroutine launches (`go g()`) do not propagate — the launch itself is
+// non-blocking. A deliberate, reviewed exception carries `//fod:lockok`
+// on the offending line (with a justification), or an entry in the
+// driver's baseline file.
+func LockHeld() *Analyzer {
+	return &Analyzer{
+		Name:       "lockheld",
+		Doc:        "no channel ops, Wait, I/O or callbacks while a mutex is held, checked across calls",
+		RunProgram: runLockHeld,
+	}
+}
+
+type effect uint8
+
+const (
+	effChan effect = 1 << iota
+	effWait
+	effIO
+	effCallback
+)
+
+func (e effect) String() string {
+	var parts []string
+	if e&effChan != 0 {
+		parts = append(parts, "channel ops")
+	}
+	if e&effWait != 0 {
+		parts = append(parts, "waits")
+	}
+	if e&effIO != 0 {
+		parts = append(parts, "I/O")
+	}
+	if e&effCallback != 0 {
+		parts = append(parts, "func-value callbacks")
+	}
+	return strings.Join(parts, ", ")
+}
+
+var effectBits = []effect{effChan, effWait, effIO, effCallback}
+
+// ioPackages are the packages whose calls count as I/O under a lock.
+var ioPackages = map[string]bool{
+	"os": true, "io": true, "net": true, "net/http": true,
+	"bufio": true, "log": true, "log/slog": true,
+}
+
+// effectSite is one directly-performed effect inside a function body.
+type effectSite struct {
+	pos  token.Pos
+	eff  effect
+	desc string
+}
+
+type effectVia struct {
+	callee *FuncNode
+	site   *effectSite // set when the effect is direct in callee == nil
+}
+
+type lockAnalysis struct {
+	pp     *ProgramPass
+	direct map[*FuncNode][]effectSite
+	bits   map[*FuncNode]effect
+	// via[n][bit] records how n acquired bit: through a call to callee,
+	// or (callee == nil) directly at site.
+	via    map[*FuncNode]map[effect]effectVia
+	goCall map[*FuncNode]map[*ast.CallExpr]bool
+}
+
+func runLockHeld(pp *ProgramPass) {
+	la := &lockAnalysis{
+		pp:     pp,
+		direct: map[*FuncNode][]effectSite{},
+		bits:   map[*FuncNode]effect{},
+		via:    map[*FuncNode]map[effect]effectVia{},
+		goCall: map[*FuncNode]map[*ast.CallExpr]bool{},
+	}
+	for _, n := range pp.Prog.Nodes {
+		la.collectDirect(n)
+	}
+	la.fixpoint()
+	for _, n := range pp.Prog.Nodes {
+		la.checkRegions(n)
+	}
+}
+
+// collectDirect finds the effects n's own body performs, plus its `go`
+// launched calls (excluded from lock-held propagation).
+func (la *lockAnalysis) collectDirect(n *FuncNode) {
+	pass := la.pp.PackagePass(n.Pkg)
+	info := n.Pkg.Info
+	goCalls := map[*ast.CallExpr]bool{}
+	// Receives that are select communication operands are accounted to
+	// the select statement, not double-reported.
+	selectComm := map[ast.Expr]bool{}
+	var sites []effectSite
+	add := func(pos token.Pos, eff effect, desc string) {
+		sites = append(sites, effectSite{pos: pos, eff: eff, desc: desc})
+	}
+	dynamic := map[*ast.CallExpr]bool{}
+	for _, site := range n.Calls {
+		if site.Dynamic {
+			dynamic[site.Call] = true
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.GoStmt:
+			goCalls[s.Call] = true
+		case *ast.SendStmt:
+			add(s.Pos(), effChan, "channel send")
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && !selectComm[s] {
+				add(s.Pos(), effChan, "channel receive")
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, cl := range s.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm == nil {
+					blocking = false // default clause
+					continue
+				}
+				markCommReceives(cc.Comm, selectComm)
+			}
+			if blocking {
+				add(s.Pos(), effChan, "blocking select")
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					add(s.Pos(), effChan, "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			if eff, desc, ok := callEffect(pass, s, dynamic[s]); ok {
+				add(s.Pos(), eff, desc)
+			}
+		}
+		return true
+	})
+	la.direct[n] = sites
+	la.goCall[n] = goCalls
+	var bits effect
+	vias := map[effect]effectVia{}
+	for i := range sites {
+		s := &sites[i]
+		if bits&s.eff == 0 {
+			bits |= s.eff
+			vias[s.eff] = effectVia{site: s}
+		}
+	}
+	la.bits[n] = bits
+	la.via[n] = vias
+}
+
+// markCommReceives records the receive expressions of a select comm
+// statement so the body walk does not double-report them.
+func markCommReceives(comm ast.Stmt, set map[ast.Expr]bool) {
+	ast.Inspect(comm, func(nd ast.Node) bool {
+		if u, ok := nd.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			set[u] = true
+		}
+		return true
+	})
+}
+
+// callEffect classifies one call expression's direct effect.
+func callEffect(pass *Pass, call *ast.CallExpr, dynamic bool) (effect, string, bool) {
+	if dynamic {
+		if isCancelFunc(pass.Info.TypeOf(call.Fun)) {
+			// context.CancelFunc is documented non-blocking and idempotent;
+			// invoking one under a lock cannot convoy.
+			return 0, "", false
+		}
+		return effCallback, "func-value callback", true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "close" {
+			return effChan, "channel close (wakes every waiter)", true
+		}
+	case *ast.SelectorExpr:
+		if pkg := packageOf(pass, fun.X); pkg != nil {
+			path := pkg.Imported().Path()
+			switch {
+			case path == "time" && fun.Sel.Name == "Sleep":
+				return effWait, "time.Sleep", true
+			case path == "fmt" && strings.HasPrefix(fun.Sel.Name, "Fprint"):
+				return effIO, "fmt." + fun.Sel.Name, true
+			case ioPackages[path]:
+				return effIO, "call into " + path, true
+			}
+			return 0, "", false
+		}
+		s := pass.Info.Selections[fun]
+		if s == nil || s.Kind() != types.MethodVal {
+			return 0, "", false
+		}
+		obj := s.Obj()
+		if obj.Pkg() == nil {
+			return 0, "", false
+		}
+		switch obj.Pkg().Path() {
+		case "sync":
+			if fun.Sel.Name == "Wait" {
+				return effWait, recvTypeName(s) + ".Wait", true
+			}
+		case "encoding/json":
+			if fun.Sel.Name == "Encode" || fun.Sel.Name == "Decode" {
+				return effIO, "json." + recvTypeName(s) + "." + fun.Sel.Name, true
+			}
+		default:
+			if ioPackages[obj.Pkg().Path()] {
+				return effIO, recvTypeName(s) + "." + fun.Sel.Name, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// isCancelFunc reports whether t is the named type context.CancelFunc.
+func isCancelFunc(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "CancelFunc"
+}
+
+func recvTypeName(s *types.Selection) string {
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, func(*types.Package) string { return "" })
+}
+
+// fixpoint propagates effects over call edges until stable.
+func (la *lockAnalysis) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range la.pp.Prog.Nodes {
+			goCalls := la.goCall[n]
+			for _, site := range n.Calls {
+				if goCalls[site.Call] || site.Dynamic {
+					// Dynamic sites carry only signature-matched guesses;
+					// propagating through them manufactures effect chains the
+					// program may never execute. The direct effCallback bit
+					// already covers the call itself.
+					continue
+				}
+				for _, callee := range site.Callees {
+					add := la.bits[callee] &^ la.bits[n]
+					if add == 0 {
+						continue
+					}
+					la.bits[n] |= add
+					for _, bit := range effectBits {
+						if add&bit != 0 {
+							la.via[n][bit] = effectVia{callee: callee}
+						}
+					}
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// chain renders the path from n down to the concrete operation carrying
+// bit, e.g. "repro.(Index).ApplyEdits → par.Run → WaitGroup.Wait".
+func (la *lockAnalysis) chain(n *FuncNode, bit effect) string {
+	var parts []string
+	for hop := 0; n != nil && hop < 8; hop++ {
+		v, ok := la.via[n][bit]
+		if !ok {
+			break
+		}
+		if v.callee == nil {
+			parts = append(parts, v.site.desc)
+			break
+		}
+		parts = append(parts, v.callee.Name())
+		n = v.callee
+	}
+	return strings.Join(parts, " → ")
+}
+
+// checkRegions reports the effects performed inside n's critical
+// sections, directly or through calls.
+func (la *lockAnalysis) checkRegions(n *FuncNode) {
+	pass := la.pp.PackagePass(n.Pkg)
+	regions := mutexRegions(pass, n.Decl)
+	if len(regions) == 0 {
+		return
+	}
+	goCalls := la.goCall[n]
+	for _, reg := range regions {
+		regLit := funcLitAt(n.Decl, reg.lockPos)
+		inRegion := func(pos token.Pos) bool {
+			for _, st := range reg.stmts {
+				if within(pos, st) {
+					return funcLitAt(n.Decl, pos) == regLit
+				}
+			}
+			return false
+		}
+		for _, s := range la.direct[n] {
+			if !inRegion(s.pos) {
+				continue
+			}
+			if pass.hasAnnotation(n.File, fakeNode{s.pos}, "fod:lockok") {
+				continue
+			}
+			la.pp.Report(n.Pkg, s.pos,
+				"%s while %s is held in %s (no channel ops, waits, I/O or callbacks under a mutex)",
+				s.desc, reg.mu, n.Decl.Name.Name)
+		}
+		for _, site := range n.Calls {
+			if goCalls[site.Call] || site.Dynamic || !inRegion(site.Pos) {
+				continue
+			}
+			if pass.hasAnnotation(n.File, site.Call, "fod:lockok") {
+				continue
+			}
+			reported := effect(0)
+			for _, callee := range site.Callees {
+				bits := la.bits[callee] &^ reported
+				if bits == 0 {
+					continue
+				}
+				reported |= bits
+				bit := firstBit(bits)
+				la.pp.Report(n.Pkg, site.Pos,
+					"call to %s while %s is held in %s: it transitively performs %s (%s)",
+					callee.Name(), reg.mu, n.Decl.Name.Name, bits, la.chain(callee, bit))
+			}
+		}
+	}
+}
+
+func firstBit(e effect) effect {
+	for _, bit := range effectBits {
+		if e&bit != 0 {
+			return bit
+		}
+	}
+	return 0
+}
+
+// fakeNode adapts a bare position to the hasAnnotation node interface.
+type fakeNode struct{ pos token.Pos }
+
+func (f fakeNode) Pos() token.Pos { return f.pos }
+func (f fakeNode) End() token.Pos { return f.pos }

@@ -1,0 +1,175 @@
+package lint
+
+// Critical-section discovery shared by the lockheld and atomicmix
+// analyzers: a statically-delimited region of statements executed while a
+// sync.Mutex / sync.RWMutex is held. Regions are found per statement
+// list, which matches how the repo writes lock code (lock and unlock as
+// siblings, or lock followed by `defer unlock`); a lock whose unlock the
+// scanner cannot pair extends conservatively to the end of its list.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// critRegion is one mutex critical section.
+type critRegion struct {
+	mu      string     // printed receiver expression of the mutex, e.g. "c.mu"
+	muObj   types.Object // the mutex field object, when sel.X selects a field
+	read    bool       // RLock/RUnlock pair
+	lockPos token.Pos
+	stmts   []ast.Stmt // statements executed while held
+}
+
+// syncCallExpr reports whether call is recv.Lock/RLock/Unlock/RUnlock on
+// a sync.Mutex or sync.RWMutex (embedded mutexes included: the selection
+// resolves to the promoted sync method). muObj is the field or variable
+// object the receiver expression names, when resolvable.
+func syncCallExpr(pass *Pass, call *ast.CallExpr) (recv string, muObj types.Object, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", nil, "", false
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", nil, "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", nil, "", false
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		muObj = pass.Info.Uses[x.Sel]
+	case *ast.Ident:
+		muObj = pass.Info.Uses[x]
+	}
+	return types.ExprString(sel.X), muObj, sel.Sel.Name, true
+}
+
+// syncCallStmt unwraps an expression statement to a sync lock call.
+func syncCallStmt(pass *Pass, stmt ast.Stmt) (recv string, muObj types.Object, method string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", nil, "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", nil, "", false
+	}
+	return syncCallExpr(pass, call)
+}
+
+// mutexRegions finds the critical sections of fn.
+func mutexRegions(pass *Pass, fn *ast.FuncDecl) []critRegion {
+	var regions []critRegion
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i := 0; i < len(list); i++ {
+			recv, muObj, meth, ok := syncCallStmt(pass, list[i])
+			if !ok || (meth != "Lock" && meth != "RLock") {
+				continue
+			}
+			unlock := "Unlock"
+			if meth == "RLock" {
+				unlock = "RUnlock"
+			}
+			reg := critRegion{mu: recv, muObj: muObj, read: meth == "RLock", lockPos: list[i].Pos()}
+			j := i + 1
+			deferred := false
+			if j < len(list) {
+				if d, isDefer := list[j].(*ast.DeferStmt); isDefer {
+					if r2, _, m2, ok2 := syncCallExpr(pass, d.Call); ok2 && r2 == recv && m2 == unlock {
+						deferred = true
+						j++
+					}
+				}
+			}
+			if deferred {
+				// Held until return; the rest of this list approximates it.
+				reg.stmts = list[j:]
+			} else {
+				for ; j < len(list); j++ {
+					if r2, _, m2, ok2 := syncCallStmt(pass, list[j]); ok2 && r2 == recv && m2 == unlock {
+						break
+					}
+					if containsUnlock(pass, list[j], recv, unlock) {
+						// An early-return branch unlocks inside this
+						// statement (e.g. `if closed { mu.Unlock(); return }`);
+						// whether the code after it runs locked depends on the
+						// branch taken, so the region stops here rather than
+						// claiming the statement and everything after it.
+						break
+					}
+					reg.stmts = append(reg.stmts, list[j])
+				}
+			}
+			regions = append(regions, reg)
+		}
+		return true
+	})
+	return regions
+}
+
+// containsUnlock reports whether stmt's subtree performs recv.unlock
+// anywhere — used to stop a critical-section scan at branchy early
+// unlocks the sibling pairing cannot see.
+func containsUnlock(pass *Pass, stmt ast.Stmt, recv, unlock string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if r2, _, m2, ok2 := syncCallExpr(pass, call); ok2 && r2 == recv && m2 == unlock {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// within reports pos ∈ [node.Pos(), node.End()].
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos <= node.End()
+}
+
+// funcLitAt returns the innermost function literal of fn containing pos,
+// or nil. Region checks use it to keep a critical section from claiming
+// statements that only run when a nested closure is later invoked.
+func funcLitAt(fn *ast.FuncDecl, pos token.Pos) *ast.FuncLit {
+	var best *ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if within(pos, lit) {
+			if best == nil || (lit.Pos() >= best.Pos() && lit.End() <= best.End()) {
+				best = lit
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -18,13 +18,20 @@ import (
 // low-degree engine: its parallel ball build promises the same
 // worker-count independence as core's, and its counting groups clauses
 // through maps whose fold order must not leak into results.
+// internal/serve and internal/snap joined in v2: the serve layer
+// promises one deterministic response envelope per request (stats and
+// query listings must not shuffle between calls), and the snapshot codec
+// promises byte-identical files for identical indexes — any map fold on
+// either path must be sorted or provably order-free.
 var mapOrderScope = []string{
 	"internal/core",
 	"internal/cover",
 	"internal/dist",
 	"internal/graph",
 	"internal/lowdeg",
+	"internal/serve",
 	"internal/skip",
+	"internal/snap",
 	"internal/store",
 }
 

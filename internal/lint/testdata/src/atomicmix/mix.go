@@ -1,0 +1,134 @@
+// Package mix is the atomicmix golden case: rule 1 catches fields
+// accessed both through old-style sync/atomic calls and plainly; rule 2
+// catches mutexes that are hand-rolled atomics. Typed atomics, real
+// multi-field mutexes and annotated exceptions stay quiet.
+package mix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mixed: c.hits goes through atomic.AddInt64 in Inc but is read plainly
+// in Read — the race rule 1 exists for.
+type mixed struct {
+	hits int64
+}
+
+func (c *mixed) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *mixed) Read() int64 {
+	return c.hits // want "accessed via sync/atomic elsewhere but plainly here"
+}
+
+// allAtomic uses the old style consistently: no finding.
+type allAtomic struct {
+	n int64
+}
+
+func (c *allAtomic) Inc() int64  { return atomic.AddInt64(&c.n, 1) }
+func (c *allAtomic) Load() int64 { return atomic.LoadInt64(&c.n) }
+
+// handRolled: the mutex guards exactly one bool across two critical
+// sections and nothing touches the field outside them — rule 2.
+type handRolled struct {
+	mu  sync.Mutex // want "hand-rolled atomic"
+	set bool
+}
+
+func (h *handRolled) Set() {
+	h.mu.Lock()
+	h.set = true
+	h.mu.Unlock()
+}
+
+func (h *handRolled) Get() bool {
+	h.mu.Lock()
+	v := h.set
+	h.mu.Unlock()
+	return v
+}
+
+// realMutex guards two fields together — a real invariant, no finding.
+type realMutex struct {
+	mu   sync.Mutex
+	head int
+	tail int
+}
+
+func (r *realMutex) Push() {
+	r.mu.Lock()
+	r.head++
+	r.tail++
+	r.mu.Unlock()
+}
+
+func (r *realMutex) Len() int {
+	r.mu.Lock()
+	n := r.head - r.tail
+	r.mu.Unlock()
+	return n
+}
+
+// escapes guards one int, but the field is also read outside the lock —
+// converting it would change behavior someone relies on; no finding.
+type escapes struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *escapes) Inc() {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+}
+
+func (e *escapes) Dirty() int { return e.n }
+
+func (e *escapes) Snap() int {
+	e.mu.Lock()
+	v := e.n
+	e.mu.Unlock()
+	return v
+}
+
+// sliceGuard protects a non-scalar: no sync/atomic replacement exists.
+type sliceGuard struct {
+	mu sync.Mutex
+	xs []int
+}
+
+func (s *sliceGuard) Add(x int) {
+	s.mu.Lock()
+	s.xs = append(s.xs, x)
+	s.mu.Unlock()
+}
+
+func (s *sliceGuard) Len() int {
+	s.mu.Lock()
+	n := len(s.xs)
+	s.mu.Unlock()
+	return n
+}
+
+// reviewed carries the annotation on the mutex field: no finding.
+type reviewed struct {
+	//fod:atomicok the mutex doubles as a fence for an external invariant
+	mu   sync.Mutex
+	flag bool
+}
+
+func (r *reviewed) Set() {
+	r.mu.Lock()
+	r.flag = true
+	r.mu.Unlock()
+}
+
+func (r *reviewed) Get() bool {
+	r.mu.Lock()
+	v := r.flag
+	r.mu.Unlock()
+	return v
+}

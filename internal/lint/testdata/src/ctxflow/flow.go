@@ -1,0 +1,111 @@
+// Package reproroot is the ctxflow golden case. The claimed import path
+// (example.com/internal/serve/reproroot) puts the whole file in serve
+// scope for rules 1 and 2 and, via the /reproroot suffix, in module-root
+// scope for rule 3 — so one package can exercise every rule.
+package reproroot
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Engine mimics the enumeration machinery: next is the hot primitive.
+type Engine struct{ n int }
+
+//fod:hotpath
+func (e *Engine) next(a int) (int, bool) { return a + 1, a < e.n }
+
+// EnumerateAll is exported, handler-reachable, reaches the hot path
+// through a loop and takes no context: rule 3 fires.
+func (e *Engine) EnumerateAll(yield func(int) bool) {
+	a := 0
+	for { // want "cannot be cancelled mid-request"
+		v, ok := e.next(a)
+		if !ok || !yield(v) {
+			return
+		}
+		a = v
+	}
+}
+
+// CountAll is the same shape, annotated as deliberate.
+//
+//fod:ctxok the yield-style caller bounds the loop
+func (e *Engine) CountAll() int {
+	n := 0
+	a := 0
+	for {
+		v, ok := e.next(a)
+		if !ok {
+			return n
+		}
+		n++
+		a = v
+	}
+}
+
+// CountCtx threads a context: no finding.
+func (e *Engine) CountCtx(ctx context.Context) (int, error) {
+	n := 0
+	a := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+		v, ok := e.next(a)
+		if !ok {
+			return n, nil
+		}
+		n++
+		a = v
+	}
+}
+
+// Handler is the request-path root (takes *http.Request).
+func Handler(w http.ResponseWriter, r *http.Request, e *Engine, ch chan int) {
+	ctx := context.Background() // want "severs the request deadline"
+	e.EnumerateAll(func(int) bool { return true })
+	_ = e.CountAll()
+	_, _ = e.CountCtx(r.Context())
+
+	ch <- 1 // want "channel send in handler-reachable"
+	<-ch    // want "channel receive in handler-reachable"
+
+	select { // want "select without default or ctx.Done"
+	case v := <-ch:
+		_ = v
+	}
+
+	select { // a ctx.Done() case is a cancellation path: no finding
+	case <-ctx.Done():
+	case v := <-ch:
+		_ = v
+	}
+
+	select { // a default case never blocks: no finding
+	case v := <-ch:
+		_ = v
+	default:
+	}
+
+	var wg sync.WaitGroup
+	wg.Wait() // want "WaitGroup.Wait in handler-reachable"
+}
+
+// defaulted shows the one allowed Background form: nil-defaulting for
+// callers that opted out.
+func defaulted(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // nil-default idiom: no finding
+	}
+	return ctx
+}
+
+// lifecycle shows the annotation escape hatch.
+func lifecycle() context.Context {
+	//fod:ctxok lifecycle context, detached by design
+	return context.Background()
+}

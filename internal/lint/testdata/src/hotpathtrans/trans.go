@@ -1,0 +1,123 @@
+// Package engine is the hotpath-transitive golden case: the closure of
+// every //fod:hotpath root is computed over static calls, interface
+// dispatch, func values and generic instantiations; //fod:coldpath (on a
+// call line or a callee's doc) prunes edges, and panic arguments are
+// automatically cold.
+package engine
+
+import "fmt"
+
+// frob is dispatched through an interface below: every implementing
+// method in the package is a closure candidate.
+type frob interface{ frob(n int) int }
+
+type fast struct{}
+
+func (fast) frob(n int) int { return n + 1 }
+
+type slow struct{}
+
+func (slow) frob(n int) int {
+	m := map[int]int{n: n} // want "map literal allocates on the hot path"
+	return len(m)
+}
+
+// root is the annotated entry; everything it reaches is hot.
+//
+//fod:hotpath
+func root(f frob, xs []int) int {
+	total := f.frob(len(xs)) // interface dispatch: fast and slow both join
+	total += helper(xs)      // static call: helper joins
+	total += viaValue(xs)    // func-value call resolved by address-taken matching
+	return total
+}
+
+// helper is not annotated; it is hot because root reaches it.
+func helper(xs []int) int {
+	m := make(map[int]int, len(xs)) // want "make\(map\) on the hot path"
+	for i, x := range xs {
+		m[x] = i
+	}
+	return len(m)
+}
+
+// addTaken is address-taken (see fn below); the f(xs) call in viaValue
+// pairs with it by signature.
+func addTaken(xs []int) int {
+	b := []byte("key") // want "string/\[\]byte conversion allocates"
+	return len(b) + len(xs)
+}
+
+var fn = addTaken
+
+func viaValue(xs []int) int { return fn(xs) }
+
+// blind calls through a func value no address-taken function matches:
+// the analyzer cannot see the callee and says so.
+//
+//fod:hotpath
+func blind(cb func(string) string) string {
+	return cb("x") // want "call through a func value with no visible target"
+}
+
+// guarded prunes its slow branch with a call-line annotation: slowInit's
+// allocation is never reported.
+//
+//fod:hotpath
+func guarded(xs []int) int {
+	if len(xs) == 0 {
+		//fod:coldpath empty-input fallback, runs at most once per engine
+		return slowInit(xs)
+	}
+	return len(xs)
+}
+
+func slowInit(xs []int) int {
+	m := make(map[int]int) // cold: the only hot edge to here is annotated
+	for i, x := range xs {
+		m[x] = i
+	}
+	return len(m)
+}
+
+// memoCold is doc-annotated cold: reachable from a hot root, never
+// traversed.
+//
+//fod:coldpath memoized, computed once behind a sync.Once
+func memoCold() map[int]int { return map[int]int{} }
+
+//fod:hotpath
+func usesCold() int { return len(memoCold()) }
+
+// guardArity shows the automatic panic-argument exemption: the fmt call
+// only runs on the failure path the delay bound does not cover.
+//
+//fod:hotpath
+func guardArity(k, n int) {
+	if k != n {
+		panic(fmt.Sprintf("arity %d, want %d", k, n))
+	}
+}
+
+// mapify is generic; the closure follows the instantiation back to the
+// origin declaration.
+func mapify[T comparable](xs []T) map[T]int {
+	m := make(map[T]int, len(xs)) // want "make\(map\) on the hot path"
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}
+
+//fod:hotpath
+func genericRoot(xs []int) int { return len(mapify(xs)) }
+
+// plain does hot-forbidden things but is reached by no annotated root:
+// no findings.
+func plain(xs []int) int {
+	m := make(map[int]int)
+	for i, x := range xs {
+		m[x] = i
+	}
+	return len(m)
+}

@@ -1,0 +1,111 @@
+// Package held is the lockheld golden case: direct effects under a
+// mutex, transitive effects through calls, and the negative shapes the
+// region scanner must not claim — goroutine launches, closures that only
+// capture the mutex, early-unlock branches, CancelFunc calls.
+package held
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	wg     sync.WaitGroup
+	buf    chan int
+	cb     func()
+	closed bool
+	n      int
+}
+
+// direct effects inside an explicit Lock/Unlock pair.
+func (s *S) direct(ch chan int) {
+	s.mu.Lock()
+	ch <- 1        // want "channel send while s.mu is held"
+	close(s.buf)   // want "channel close .* while s.mu is held"
+	s.wg.Wait()    // want "WaitGroup.Wait while s.mu is held"
+	s.mu.Unlock()
+}
+
+// deferred unlock: held until return.
+func (s *S) deferred(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-ch // want "channel receive while s.mu is held"
+}
+
+// read lock: I/O under an RLock is still a convoy for writers.
+func (s *S) readIO() {
+	s.rw.RLock()
+	fmt.Fprintln(os.Stdout, s.n) // want "fmt.Fprintln while s.rw is held"
+	s.rw.RUnlock()
+}
+
+// callback through a func value under the lock: the callee is invisible,
+// so the call itself is the hazard.
+func (s *S) callback(f func()) {
+	s.mu.Lock()
+	f() // want "func-value callback while s.mu is held"
+	s.mu.Unlock()
+}
+
+// cancel is the CancelFunc exemption: documented non-blocking.
+func (s *S) cancel(c context.CancelFunc) {
+	s.mu.Lock()
+	c() // no finding: context.CancelFunc cannot convoy
+	s.n = 0
+	s.mu.Unlock()
+}
+
+// slowPath sleeps; on its own that is fine.
+func (s *S) slowPath() {
+	time.Sleep(time.Millisecond)
+}
+
+// transitive: the effect is two frames down, the diagnostic lands on the
+// call made under the lock.
+func (s *S) transitive() {
+	s.mu.Lock()
+	s.slowPath() // want "transitively performs waits"
+	s.mu.Unlock()
+}
+
+// launched: a goroutine launch under the lock does not block the holder.
+func (s *S) launched() {
+	s.mu.Lock()
+	go s.slowPath() // no finding: the launch itself is non-blocking
+	s.mu.Unlock()
+}
+
+// registerCallback defines (but does not run) a closure inside the
+// critical section: the Wait belongs to the closure's later caller.
+func (s *S) registerCallback() {
+	s.mu.Lock()
+	s.cb = func() { s.wg.Wait() } // no finding: closure body runs later
+	s.mu.Unlock()
+}
+
+// early returns unlock inside a branch; the code after the branch runs
+// locked or not depending on the path, so the region scanner stops there.
+func (s *S) early(ch chan int) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ch <- 1 // no finding: runs after the branch unlocked
+		return
+	}
+	s.mu.Unlock()
+	ch <- 2 // no finding: lock already released
+}
+
+// annotated: a reviewed exception stays quiet.
+func (s *S) annotated() {
+	s.mu.Lock()
+	//fod:lockok bounded: s.buf is buffered and owned by this struct
+	s.buf <- 1
+	s.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package lowdeg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -161,6 +162,11 @@ func (e *Engine) testClause(rt *clauseRT, a []graph.V) bool {
 // Enumerate yields every solution exactly once in increasing
 // lexicographic order, until exhaustion or until yield returns false.
 // The tuple passed to yield is reused; copy it to retain it.
+//
+//fod:ctxok the yield callback is the cancellation path: any caller that
+// must honor a deadline returns false from yield (CountCtx does exactly
+// that); a ctx parameter here would put a select on the constant-delay
+// loop of every caller, cancellable or not.
 func (e *Engine) Enumerate(yield func([]graph.V) bool) {
 	if e.g.N() == 0 {
 		return
@@ -187,6 +193,35 @@ func (e *Engine) Count() int {
 	n := 0
 	e.Enumerate(func([]graph.V) bool { n++; return true })
 	return n
+}
+
+// countCheckEvery is how many answers CountCtx produces between ctx
+// polls — the same trade as the core engine's: bounded cancellation
+// latency without a per-answer select.
+const countCheckEvery = 4096
+
+// CountCtx counts by full enumeration with cooperative cancellation,
+// polling ctx every countCheckEvery answers. It returns ctx.Err() if the
+// context was canceled before the solution set was exhausted.
+func (e *Engine) CountCtx(ctx context.Context) (int, error) {
+	n := 0
+	canceled := false
+	e.Enumerate(func([]graph.V) bool {
+		n++
+		if n%countCheckEvery == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = true
+				return false
+			default:
+			}
+		}
+		return true
+	})
+	if canceled {
+		return 0, ctx.Err()
+	}
+	return n, nil
 }
 
 //fod:hotpath

@@ -111,6 +111,7 @@ type Engine struct {
 
 	bfsPool sync.Pool // *graph.BFS on g, for local evaluations
 	evPool  sync.Pool // *fo.Evaluator on g, for guarded local evaluations
+	envPool sync.Pool // fo.Env scratch for guarded local evaluations
 
 	opt    Options // retained for the ApplyEdits rebuild path
 	stats  Stats
@@ -166,6 +167,7 @@ func Preprocess(g *graph.Graph, q *core.LocalQuery, opt Options) (*Engine, error
 	e := &Engine{g: g, q: q, k: q.K, r: q.R, rho: q.LocalRadius, opt: opt, obsReg: opt.Obs}
 	e.bfsPool.New = func() any { return graph.NewBFS(g) }
 	e.evPool.New = func() any { return fo.NewEvaluator(g) }
+	e.envPool.New = func() any { return fo.Env{} }
 	workers := par.Resolve(opt.Parallelism)
 	pool := par.NewPool(workers)
 	e.stats.Workers = workers
@@ -353,6 +355,7 @@ func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
 	if c.starterReady && len(vals) == 1 {
 		return c.inStart[vals[0]]
 	}
+	//fod:coldpath memo key of the general-component path — singleton components (the pinned 0-alloc guards) take the starterReady fast path above
 	key := tupleKey(vals)
 	if r, ok := c.memo.Load(key); ok {
 		e.ctr.localEvalHits.Add(1)
@@ -368,14 +371,20 @@ func (e *Engine) localEval(c *compRT, vals []graph.V) bool {
 			domain[i] = int(w)
 		}
 		e.bfsPool.Put(bfs)
-		env := fo.Env{}
+		env := e.envPool.Get().(fo.Env)
+		clear(env)
 		for i, v := range vals {
 			env[c.vars[i]] = v
 		}
 		ev := e.evPool.Get().(*fo.Evaluator)
 		res = ev.EvalOver(c.psi, env, domain)
 		e.evPool.Put(ev)
+		e.envPool.Put(env)
 	} else {
+		// Hand-built (uncertified) queries only: the pinned 0-alloc delay
+		// guards all run compiler-certified queries, and the memo above
+		// makes this a once-per-tuple cost, not a per-answer one.
+		//fod:coldpath memoized fallback for uncertified queries
 		res = e.exactBallEval(c, vals)
 	}
 	c.memo.Store(key, res)

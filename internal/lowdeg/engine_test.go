@@ -208,6 +208,34 @@ func TestFastCountAgainstEnumeration(t *testing.T) {
 	}
 }
 
+// TestCountCtx mirrors the core pin: CountCtx equals Count under a live
+// context and returns context.Canceled (never a partial count) once
+// canceled. The far query has ~n² answers — well past the 4096-answer
+// poll interval.
+func TestCountCtx(t *testing.T) {
+	q := compile(t, "dist(x,y) > 2 & C0(y)", "x", "y")
+	g := gen.Generate(gen.BoundedDegree, 300, gen.Options{Seed: 7, Colors: 1})
+	e, err := lowdeg.Preprocess(g, q, lowdeg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.CountCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Count(); n != want {
+		t.Fatalf("CountCtx %d != Count %d", n, want)
+	}
+	if n <= 4096 {
+		t.Fatalf("fixture too small to exercise the poll: %d answers", n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if n, err := e.CountCtx(ctx); err != context.Canceled || n != 0 {
+		t.Fatalf("canceled CountCtx = (%d, %v), want (0, context.Canceled)", n, err)
+	}
+}
+
 // TestFastCountUnsupportedShape: a disconnected arity-3 query has no fast
 // path; ok=false tells the caller to fall back to Count.
 func TestFastCountUnsupportedShape(t *testing.T) {

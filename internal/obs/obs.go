@@ -290,21 +290,15 @@ func (r *Registry) Publish(name string) {
 // rebindableVar is an expvar.Var whose backing registry can be swapped,
 // working around expvar's publish-once restriction.
 type rebindableVar struct {
-	mu  sync.Mutex
-	reg *Registry
+	reg atomic.Pointer[Registry]
 }
 
 func (v *rebindableVar) set(r *Registry) {
-	v.mu.Lock()
-	v.reg = r
-	v.mu.Unlock()
+	v.reg.Store(r)
 }
 
 func (v *rebindableVar) String() string {
-	v.mu.Lock()
-	reg := v.reg
-	v.mu.Unlock()
-	b, err := json.Marshal(reg.Snapshot())
+	b, err := json.Marshal(v.reg.Load().Snapshot())
 	if err != nil {
 		return "{}"
 	}

@@ -222,12 +222,17 @@ func (c *indexCache) run(ctx context.Context, key cacheKey, f *flight) {
 	fl.End()
 	f.cancel() // release the context's resources
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	f.ix, f.err = ix, err
 	delete(c.flights, key)
 	if err == nil {
 		c.insertLocked(key, ix)
 	}
+	c.mu.Unlock()
+	// Wake the waiters only after the lock is dropped: close wakes every
+	// blocked lookup at once, and each of them immediately re-takes c.mu —
+	// closing inside the section would stampede them straight into the
+	// held lock. f.ix/f.err are written before the close in program order,
+	// so waiters still observe them.
 	close(f.done)
 }
 

@@ -109,6 +109,13 @@ type Config struct {
 	// foreign snapshots are ignored, never served. The directory must
 	// exist and be writable.
 	SnapshotDir string
+	// BaseContext, when non-nil, parents every background index build and
+	// the server's drain lifecycle; canceling it aborts in-flight builds
+	// exactly as Shutdown does. Nil means the server owns its lifecycle
+	// outright (context.Background), which suits tests and single-server
+	// binaries; a process hosting several servers passes its run context
+	// here so one signal tears all of them down.
+	BaseContext context.Context
 	// Metrics, when non-nil, instruments the server (per-endpoint latency
 	// histograms, cache hit/miss counters, in-flight gauge) and every
 	// index it builds, and is served at /debug/metrics.
@@ -196,7 +203,11 @@ type queryEntry struct {
 // NewServer validates cfg and returns a ready Server.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Metrics,
@@ -207,6 +218,7 @@ func NewServer(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
+	//fod:sorted order-free: key-addressed map-to-map copy, no fold state
 	for name, g := range cfg.Graphs {
 		s.graphs[name] = newGraphState(name, g, cfg.RetainVersions)
 	}
@@ -220,6 +232,7 @@ func NewServer(cfg Config) *Server {
 		// for core-routed graphs, and writeSnapshot skips lowdeg-backed
 		// indexes individually.
 		s.graphFP = make(map[string]string, len(cfg.Graphs))
+		//fod:sorted order-free: key-addressed map-to-map copy, no fold state
 		for name, g := range cfg.Graphs {
 			s.graphFP[name] = snap.FingerprintString(snap.Fingerprint(g))
 		}
@@ -399,6 +412,7 @@ func (s *Server) buildIndex(ctx context.Context, key cacheKey) (*repro.Index, er
 	}
 	s.mu.Lock()
 	var q *repro.Query
+	//fod:sorted order-free: (graph, canonical) identifies at most one entry, so the scan's first hit is its only hit
 	for _, e := range s.queries {
 		if e.graph == key.graph && e.canonical == key.canonical {
 			q = e.q
@@ -863,8 +877,12 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp := s.reg.StartSpan(r.Context(), "count.eval")
-	n, fast := ix.SolutionCount()
+	n, fast, err := ix.SolutionCountCtx(r.Context())
 	sp.End()
+	if err != nil {
+		writeCacheErr(w, r, err)
+		return
+	}
 	writeData(w, r, http.StatusOK, CountResponse{
 		ID:      entry.id,
 		Version: gv.version,
@@ -937,6 +955,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:  s.cache.Stats(),
 		Engine: string(engine),
 	}
+	//fod:sorted order-free: key-addressed fill of the response map; the JSON encoder emits map keys sorted
 	for name, gs := range s.graphs {
 		gv := gs.Head()
 		resp.Graphs[name] = GraphStats{
@@ -948,6 +967,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
+	//fod:sorted the collected slice is sorted by ID immediately after this fold (below)
 	for _, e := range s.queries {
 		qs := QueryStats{
 			ID: e.id, Graph: e.graph, Canonical: e.canonical, Arity: e.arity,

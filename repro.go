@@ -36,6 +36,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -196,8 +197,12 @@ type Index struct {
 	version int    // mutation generation; 0 for a fresh build
 
 	// SolutionCount cache: `#x̄ φ` is a property of the (graph, query)
-	// version, so it is computed at most once per Index value.
+	// version, so it is computed at most once per Index value. countDone
+	// flips only after the once body stored the value, letting
+	// SolutionCountCtx serve cache hits without entering the Once (a
+	// canceled count must not poison the cache).
 	countOnce sync.Once
+	countDone atomic.Bool
 	countVal  int
 	countFast bool
 }
@@ -351,6 +356,7 @@ func (ix *Index) FastCount() int {
 // stale.
 func (ix *Index) SolutionCount() (n int, fast bool) {
 	ix.countOnce.Do(func() {
+		defer ix.countDone.Store(true)
 		if ix.le != nil {
 			if c, ok := ix.le.FastCount(); ok {
 				ix.countVal, ix.countFast = c, true
@@ -366,6 +372,35 @@ func (ix *Index) SolutionCount() (n int, fast bool) {
 		ix.countVal = ix.e.Count()
 	})
 	return ix.countVal, ix.countFast
+}
+
+// SolutionCountCtx is SolutionCount with cooperative cancellation: when
+// the count must fall back to full enumeration, ctx is polled
+// periodically and a canceled request stops after a bounded number of
+// delay steps instead of running the solution set to exhaustion. The
+// sub-enumeration counting path is query-shape-bounded work and never
+// needs the context. A canceled call leaves the cache empty; a completed
+// call populates it exactly as SolutionCount does.
+func (ix *Index) SolutionCountCtx(ctx context.Context) (n int, fast bool, err error) {
+	if ix.countDone.Load() {
+		return ix.countVal, ix.countFast, nil
+	}
+	if ix.le != nil {
+		if c, ok := ix.le.FastCount(); ok {
+			n, fast = c, true
+		} else if n, err = ix.le.CountCtx(ctx); err != nil {
+			return 0, false, err
+		}
+	} else if c, ok := ix.e.FastCount(); ok {
+		n, fast = c, true
+	} else if n, err = ix.e.CountCtx(ctx); err != nil {
+		return 0, false, err
+	}
+	ix.countOnce.Do(func() {
+		ix.countVal, ix.countFast = n, fast
+		ix.countDone.Store(true)
+	})
+	return n, fast, nil
 }
 
 // Iterator is the cursor implementation of the core engine.

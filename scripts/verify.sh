@@ -43,6 +43,12 @@
 #                core build, and the lowdeg Iterator.Next / Test /
 #                NextLast hot paths must report 0 allocs/op (see README
 #                "Engine modes")
+#            (h) self-lint guards (LINT2_GUARD=1): all seven fodlint
+#                analyzers must come back clean over the whole module
+#                (internal/lint included) modulo the reviewed baseline,
+#                and the static //fod:hotpath closure must contain every
+#                function the AllocsPerRun guards pin at 0 allocs/op —
+#                the static and dynamic delay-bound checks must agree
 #
 #   scripts/verify.sh          # all tiers
 #   scripts/verify.sh 1        # tier 1 only
@@ -63,7 +69,8 @@ if [[ "$tier" == "2" || "$tier" == "all" ]]; then
     echo "== tier 2: go vet ./... (+ explicit -copylocks -loopclosure) =="
     go vet ./...
     go vet -copylocks -loopclosure ./...
-    echo "== tier 2: fodlint (repo invariant analyzers) =="
+    echo "== tier 2: fodlint (7 whole-program analyzers, all packages, -json) =="
+    go run ./cmd/fodlint -json ./... > /dev/null
     go run ./cmd/fodlint ./...
     echo "== tier 2: go test -race -short ./... =="
     go test -race -short ./...
@@ -94,6 +101,8 @@ if [[ "$tier" == "3" || "$tier" == "all" ]]; then
     MUT_GUARD=1 go test -run 'TestMutateSpeedGuard|TestMutateZeroAllocsGuard' -count=1 -v .
     echo "== tier 3: lowdeg guards (LOWDEG_GUARD=1) =="
     LOWDEG_GUARD=1 go test -run 'TestLowdeg' -count=1 -v ./internal/lowdeg/
+    echo "== tier 3: self-lint + hot-closure guards (LINT2_GUARD=1) =="
+    LINT2_GUARD=1 go test -run 'TestSelfLintClean|TestHotClosureMatchesAllocGuards' -count=1 -v ./internal/lint/
 fi
 
 echo "verify: OK (tier $tier)"
